@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure via its experiment
+module, prints the rendered rows (captured into ``bench_output.txt`` by
+the top-level run command), and asserts the paper's qualitative shape.
+Experiments are deterministic simulations, so a single round suffices.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are
+    deterministic; repeated rounds would only re-add wall time)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,35 @@
+"""Benchmarks regenerating Figure 1 (growth) and Figure 2 (bottleneck)."""
+
+from repro.experiments import fig01_growth, fig02_bottleneck
+from repro.experiments.common import render
+
+
+def test_fig01_growth(once):
+    rows = once(fig01_growth.run)
+    print("\n" + render(rows))
+    print(fig01_growth.headline(rows))
+    # Model state outgrew GPU memory: the latest model's state exceeds the
+    # contemporary flagship GPU by orders of magnitude.
+    assert rows[-1]["state/gpu_ratio"] > 50
+    # And the earliest fit comfortably.
+    assert rows[0]["state/gpu_ratio"] < 1
+
+
+def test_fig02_swap_bottleneck(once):
+    rows = once(fig02_bottleneck.run)
+    print("\n" + render(rows))
+    dp = [r for r in rows if r["panel"] == "b:dp-swap"]
+    # (b) DP swap volume grows ~linearly with GPU count...
+    ratio = dp[-1]["global_swap(GiB)"] / dp[0]["global_swap(GiB)"]
+    assert ratio > 0.7 * (dp[-1]["gpus"] / dp[0]["gpus"])
+    # ...while throughput flat-lines (sublinear scaling).
+    tput_ratio = dp[-1]["throughput(samples/s)"] / dp[0]["throughput(samples/s)"]
+    assert tput_ratio < 0.8 * (dp[-1]["gpus"] / dp[0]["gpus"])
+    # (c) Pipeline stages have unbalanced swap loads (head > tail): the
+    # head stage holds the deepest in-flight stash under 1F1B.
+    stages = sorted(
+        (r for r in rows if r["panel"] == "c:pp-swap-stage"),
+        key=lambda r: r["gpus"],
+    )
+    head, tail = stages[0], stages[-1]
+    assert head["global_swap(GiB)"] > 1.2 * tail["global_swap(GiB)"]

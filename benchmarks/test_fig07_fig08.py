@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Figure 7 (packing) and Figures 8/18 (memory)."""
+
+from repro.experiments import fig07_packing, fig08_memory
+from repro.experiments.common import render
+
+
+def test_fig07_greedy_vs_balanced(once):
+    rows = once(fig07_packing.run)
+    print("\n" + render(rows))
+    balanced = next(r for r in rows if r["method"] == "balanced-time")
+    greedy = next(r for r in rows if r["method"] == "greedy-max")
+    # Greedy picks larger (fewer) packs...
+    assert greedy["|P_F|"] <= balanced["|P_F|"]
+    # ...but its time imbalance and iteration time are worse.
+    assert greedy["bwd_time_imbalance"] >= balanced["bwd_time_imbalance"]
+    assert greedy["iteration(s)"] > balanced["iteration(s)"]
+
+
+def test_fig08_memory_footprint(once):
+    rows = once(fig08_memory.run)
+    print("\n" + render(rows))
+    for row in rows:
+        # Realistic minibatches exceed a single GPU's memory (the deep
+        # CNNs squeeze under at minibatch 1, as in the paper's Figure 18).
+        if row["minibatch"] >= 32:
+            assert row["x_single_gpu"] > 1.0, row
+    # ...and the large-model larger-batch settings exceed even the
+    # collective memory of all four GPUs.
+    worst = max(rows, key=lambda r: r["x_all_gpus"])
+    assert worst["x_all_gpus"] > 1.0
+    # Footprint grows with minibatch within each model.
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["model"], []).append(row["total(GiB)"])
+    for model, totals in by_model.items():
+        assert totals == sorted(totals), model

@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 9 (throughput vs per-GPU swap baselines)
+and its companion Figure 20 (normalized iteration time)."""
+
+from repro.experiments import fig09_throughput
+from repro.experiments.common import render
+
+
+def test_fig09_throughput_comparison(once):
+    rows = once(fig09_throughput.run)
+    print("\n" + render(rows))
+    print("\nFigure 20 (normalized to Harmony PP):")
+    print(render(fig09_throughput.normalized(rows)))
+    print("\nHeadline speedups:")
+    speedups = fig09_throughput.speedups(rows)
+    print(render(speedups))
+
+    cells: dict[tuple[str, int], dict[str, float]] = {}
+    for row in rows:
+        cells.setdefault((row["model"], row["minibatch"]), {})[
+            row["scheme"]
+        ] = row["throughput(samples/s)"]
+
+    for (model, minibatch), cell in cells.items():
+        where = f"{model}@{minibatch}"
+        # Takeaway 1: DP Swap consistently underperforms everything else.
+        others = [v for k, v in cell.items() if k != "dp-swap"]
+        assert cell["dp-swap"] <= min(others) * 1.05, where
+        # Takeaway 2: recompute wins where stash traffic dominates -- i.e.
+        # at the largest batch (at small batches the stash fits and
+        # recompute only adds FLOPs).
+        if minibatch >= 64:
+            assert cell["gp-swap-r"] > cell["gp-swap"] * 0.95, where
+        # Takeaways 3-4: both Harmony schemes beat every baseline.
+        baselines = max(
+            cell[k] for k in ("dp-swap", "gp-swap", "gp-swap-r",
+                              "2bw-swap", "2bw-swap-r")
+        )
+        assert cell["harmony-dp"] > baselines * 0.98, where
+        assert cell["harmony-pp"] > baselines * 0.98, where
+
+    # Takeaway 5's mechanism: Harmony's throughput keeps improving with
+    # batch size (input-batch grouping amortizes the swaps), where the
+    # baselines flat-line or worse.  (The speedup *gap* widens with batch
+    # for GPT2/VGG416 in our calibration; for BERT96/ResNet1K our DP Swap
+    # is so swap-crushed at small batches that the gap starts even wider
+    # than the paper's and narrows -- see EXPERIMENTS.md.)
+    for model in {m for m, _ in cells}:
+        batches = sorted(b for m, b in cells if m == model)
+        pp = [cells[(model, b)]["harmony-pp"] for b in batches]
+        assert pp[-1] >= pp[0] * 0.95, (model, pp)
+
+    # Headline: multi-x speedups over DP Swap.
+    assert max(r["speedup_vs_dp_swap"] for r in speedups) > 3.0

@@ -1,0 +1,44 @@
+"""Benchmarks regenerating Figure 10 (swap load) and Figure 11 (ZeRO)."""
+
+from repro.experiments import fig10_swapload, fig11_zero
+from repro.experiments.common import render
+
+
+def test_fig10_swap_load(once):
+    rows = once(fig10_swapload.run)
+    print("\n" + render(rows))
+    ratio = fig10_swapload.swap_ratio(rows)
+    print(f"dp-swap / harmony-pp global swap @64: {ratio:.0f}x")
+    # Harmony PP's swap volume is 1-2 orders of magnitude below DP Swap.
+    assert ratio > 10
+    # Harmony DP sits roughly an order of magnitude above Harmony PP but
+    # well below DP Swap.
+    cell = {
+        r["scheme"]: r["swap(GiB)"]
+        for r in rows
+        if r["panel"] == "b:global" and r["minibatch"] == 64
+    }
+    assert cell["harmony-dp"] < cell["dp-swap"] / 5
+    assert cell["harmony-pp"] < cell["harmony-dp"]
+    # Baseline swap grows with minibatch; Harmony's stays near-flat
+    # (state-dominated).
+    dp16 = next(r["swap(GiB)"] for r in rows
+                if r["panel"] == "b:global" and r["minibatch"] == 16
+                and r["scheme"] == "dp-swap")
+    pp16 = next(r["swap(GiB)"] for r in rows
+                if r["panel"] == "b:global" and r["minibatch"] == 16
+                and r["scheme"] == "harmony-pp")
+    assert cell["dp-swap"] / dp16 > 1.5
+    assert cell["harmony-pp"] / pp16 < 1.5
+
+
+def test_fig11_zero_infinity(once):
+    rows = once(fig11_zero.run)
+    print("\n" + render(rows))
+    summary = fig11_zero.summary(rows)
+    print(render([summary]))
+    # Harmony's swap load is an order of magnitude below ZeRO-Infinity.
+    assert summary["swap_ratio_zero_vs_pp"] > 8
+    # Harmony DP and PP at least match ZeRO-Infinity's throughput.
+    assert summary["dp_speedup_vs_zero"] > 0.95
+    assert summary["pp_speedup_vs_zero"] > 0.9

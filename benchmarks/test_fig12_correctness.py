@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figures 12/19 and Table 3 (correctness)."""
+
+from repro.experiments import fig12_correctness
+from repro.experiments.common import render
+
+
+def test_fig12_fig19_tab03_correctness(once):
+    rows = once(fig12_correctness.run)
+    print("\n" + render(rows))
+    # Synchronous-SGD semantics: every scheme's per-minibatch losses match
+    # the single-device baseline (float64: to ~1e-12).
+    assert fig12_correctness.exact_match(rows)
+    # Table 3: evaluation accuracy identical across schemes per task.
+    for task in {row["task"] for row in rows}:
+        accs = {row["eval_accuracy(%)"] for row in rows if row["task"] == task}
+        assert len(accs) == 1, (task, accs)
+    # And training actually converged (loss dropped substantially).
+    for row in rows:
+        assert row["final_loss"] < row["first_loss"] * 0.8, row

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating Figure 13 (ablation) and Figure 14 (estimator)."""
+
+from repro.experiments import fig13_ablation, fig14_estimator
+from repro.experiments.common import render
+
+
+def test_fig13_efficiency_breakdown(once):
+    rows = once(fig13_ablation.run)
+    print("\n" + render(rows))
+    by = {(r["mode"], r["ablation"]): r["slowdown"] for r in rows}
+    for mode in ("harmony-dp", "harmony-pp"):
+        # Input-batch grouping is the dominant optimization.
+        assert by[(mode, "grouping")] > 1.15, mode
+        # Every ablation costs something (within simulation noise).
+        for ablation in fig13_ablation.ABLATIONS + ("config_search",):
+            assert by[(mode, ablation)] > 0.97, (mode, ablation)
+    # Grouping hurts DP more than PP (the paper's 2.2x vs 1.5x pattern).
+    assert by[("harmony-dp", "grouping")] >= by[("harmony-pp", "grouping")] * 0.9
+
+
+def test_fig14_estimator_accuracy(once):
+    rows = once(fig14_estimator.run)
+    print("\n" + render(rows))
+    # Estimates hug the measured times.
+    assert fig14_estimator.max_error(rows) < 15.0
+    mean_err = sum(r["error(%)"] for r in rows) / len(rows)
+    assert mean_err < 7.5

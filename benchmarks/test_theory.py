@@ -1,0 +1,41 @@
+"""Benchmark exercising the Appendix A NP-hardness reduction."""
+
+from repro.experiments.common import render
+from repro.theory import (
+    brute_force_optimum,
+    makespan,
+    partition_reduction,
+    target_makespan,
+    witness_packing,
+)
+from repro.theory.partition import exact_partition
+
+
+def _cases():
+    yes_cases = [[6, 2, 4], [1, 1], [3, 5, 2, 4], [2, 2, 2, 2]]
+    no_cases = [[1, 1, 1], [2, 3], [1, 2, 4], [5, 1, 1]]
+    rows = []
+    for numbers in yes_cases + no_cases:
+        instance = partition_reduction(numbers)
+        target = target_makespan(numbers)
+        optimum, _packs = brute_force_optimum(instance)
+        side = exact_partition(numbers)
+        rows.append({
+            "numbers": str(numbers),
+            "partition": "YES" if side is not None else "NO",
+            "target_T": target,
+            "optimum": optimum,
+            "attains_T": abs(optimum - target) < 1e-9,
+        })
+        if side is not None:
+            witness = witness_packing(numbers, side)
+            assert abs(makespan(instance, witness) - target) < 1e-9
+    return rows
+
+
+def test_appendix_a_reduction(once):
+    rows = once(_cases)
+    print("\n" + render(rows))
+    for row in rows:
+        # YES instances attain T; NO instances strictly exceed it.
+        assert row["attains_T"] == (row["partition"] == "YES"), row

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare Harmony against per-GPU-virtualization baselines.
+
+Reproduces a single column of the paper's Figure 9 interactively: pick a
+model and minibatch size, run DP Swap, GPipe Swap (with and without
+recomputation), PipeDream-2BW Swap, the ZeRO-Infinity analog, and both
+Harmony schedules, and print throughput, swap volume, and the speedups.
+
+Run:  python examples/compare_baselines.py [model] [minibatch]
+      python examples/compare_baselines.py bert96 32
+"""
+
+import sys
+
+from repro import Harmony, HarmonyOptions, four_gpu_commodity_server
+from repro.baselines import (
+    DpSwapPlanner,
+    GpipeSwapPlanner,
+    PipeDream2BWPlanner,
+    ZeroInfinityPlanner,
+)
+from repro.experiments.common import render
+
+
+def main(model: str = "gpt2", minibatch: int = 32) -> None:
+    server = four_gpu_commodity_server()
+    rows = []
+
+    def record(name, metrics):
+        rows.append({
+            "scheme": name,
+            "iteration(s)": metrics.iteration_time,
+            "throughput(samples/s)": metrics.throughput,
+            "global_swap(GiB)": metrics.global_swap_bytes / 2**30,
+        })
+
+    record("dp-swap", DpSwapPlanner(model, server, minibatch).run())
+    record("gp-swap", GpipeSwapPlanner(model, server, minibatch).run())
+    record("gp-swap (R)",
+           GpipeSwapPlanner(model, server, minibatch, recompute=True).run())
+    record("2bw-swap", PipeDream2BWPlanner(model, server, minibatch).run())
+    record("2bw-swap (R)",
+           PipeDream2BWPlanner(model, server, minibatch, recompute=True).run())
+
+    harmony_dp = Harmony(model, server, minibatch,
+                         options=HarmonyOptions(mode="dp"))
+    config = harmony_dp.plan().config
+    record("zero-infinity", ZeroInfinityPlanner(
+        model, server, minibatch, u_f=config.u_f, u_b=config.u_b).run())
+    record("harmony-dp", harmony_dp.run().metrics)
+    harmony_pp = Harmony(model, server, minibatch,
+                         options=HarmonyOptions(mode="pp"))
+    record("harmony-pp", harmony_pp.run().metrics)
+
+    print(f"== {model}, minibatch {minibatch}, {server.describe()} ==")
+    print(render(rows))
+    pp = next(r for r in rows if r["scheme"] == "harmony-pp")
+    dp_swap = next(r for r in rows if r["scheme"] == "dp-swap")
+    print(f"\nHarmony PP is {dp_swap['iteration(s)'] / pp['iteration(s)']:.1f}x "
+          f"faster than DP Swap, with "
+          f"{dp_swap['global_swap(GiB)'] / pp['global_swap(GiB)']:.0f}x less "
+          "swap traffic.")
+
+
+if __name__ == "__main__":
+    model = sys.argv[1] if len(sys.argv) > 1 else "gpt2"
+    minibatch = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    main(model, minibatch)

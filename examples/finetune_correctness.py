@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Verify Harmony preserves synchronous-SGD semantics, end to end.
+
+Fine-tunes the numeric "BERT-tiny" classifier on a synthetic MRPC-style
+task three ways -- single-device baseline, Harmony PP (microbatched with
+checkpoint rematerialization), Harmony DP (4 workers) -- and prints the
+per-minibatch loss curves side by side.  In float64 they coincide to
+machine precision: the paper's Figure 12 "exact match".
+
+Run:  python examples/finetune_correctness.py
+"""
+
+from repro.numeric.data import synthetic_mrpc
+from repro.numeric.harmony_exec import HarmonyNumericTrainer
+from repro.numeric.model import make_classifier
+from repro.numeric.optim import Adam
+from repro.numeric.trainer import ReferenceTrainer
+
+
+def main() -> None:
+    dataset = synthetic_mrpc()
+    batch, epochs = 32, 2
+
+    baseline = ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3))
+    base = baseline.train(dataset, batch, epochs)
+
+    pp = HarmonyNumericTrainer(
+        make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=4
+    ).train(dataset, batch, epochs)
+
+    dp = HarmonyNumericTrainer(
+        make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=4, n_workers=4
+    ).train(dataset, batch, epochs)
+
+    print(f"{'minibatch':>9}  {'baseline':>12}  {'harmony-pp':>12}  "
+          f"{'harmony-dp':>12}")
+    for i, (a, b, c) in enumerate(zip(base.losses, pp.losses, dp.losses)):
+        marker = "" if abs(a - b) < 1e-10 and abs(a - c) < 1e-10 else "  <-- MISMATCH"
+        if i % 4 == 0 or marker:
+            print(f"{i:>9}  {a:>12.8f}  {b:>12.8f}  {c:>12.8f}{marker}")
+
+    dev_pp = max(abs(a - b) for a, b in zip(base.losses, pp.losses))
+    dev_dp = max(abs(a - b) for a, b in zip(base.losses, dp.losses))
+    print(f"\nmax |loss difference| vs baseline: PP {dev_pp:.2e}, DP {dev_dp:.2e}")
+    print(f"eval accuracy: baseline {base.eval_accuracy:.4f}, "
+          f"PP {pp.eval_accuracy:.4f}, DP {dp.eval_accuracy:.4f}")
+    assert dev_pp < 1e-10 and dev_dp < 1e-10
+    print("Harmony schedules preserve synchronous SGD semantics. ✓")
+
+
+if __name__ == "__main__":
+    main()

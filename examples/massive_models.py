@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Push to the CPU-memory limit: 10-40 billion parameter models.
+
+Section 5.7 of the paper: on an 8-GPU server with 750 GB of host memory,
+Harmony trains customized GPT2 variants up to 40 B parameters -- a model
+whose state alone is ~600 GiB -- while the ZeRO-Infinity analog runs out
+of host memory at 40 B.  This example sweeps the model sizes and GPU
+counts and prints throughput scaling.
+
+Run:  python examples/massive_models.py
+"""
+
+from repro import Harmony, HarmonyOptions, build_model, eight_gpu_commodity_server
+from repro.baselines import ZeroInfinityPlanner
+from repro.common.errors import HostOutOfMemoryError
+from repro.experiments.common import render, scaling_server
+
+
+def main() -> None:
+    server = eight_gpu_commodity_server()
+    print(f"server: {server.describe()}\n")
+
+    rows = []
+    for billions in (10, 20, 30, 40):
+        name = f"gpt2-{billions}b"
+        model = build_model(name)
+        harmony = Harmony(model, server, minibatch=32,
+                          options=HarmonyOptions(mode="pp"))
+        metrics = harmony.run().metrics
+        try:
+            config = harmony.plan().config
+            zero = ZeroInfinityPlanner(model, server, 32,
+                                       u_f=config.u_f, u_b=config.u_b).run()
+            zero_tput = f"{zero.throughput:.3f}"
+        except HostOutOfMemoryError:
+            zero_tput = "OOM (host)"
+        rows.append({
+            "model": name,
+            "state(GiB)": model.model_state_bytes / 2**30,
+            "harmony-pp(samples/s)": metrics.throughput,
+            "zero-infinity(samples/s)": zero_tput,
+        })
+    print(render(rows))
+
+    print("\nScaling Harmony PP on gpt2-10b from 1 to 8 GPUs:")
+    scale_rows = []
+    base = None
+    for n in (1, 2, 4, 8):
+        harmony = Harmony("gpt2-10b", scaling_server(n), minibatch=16,
+                          options=HarmonyOptions(mode="pp"))
+        tput = harmony.run().metrics.throughput
+        base = base or tput
+        scale_rows.append({
+            "gpus": n,
+            "throughput(samples/s)": tput,
+            "speedup": tput / base,
+        })
+    print(render(scale_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: train a model larger than your GPUs.
+
+GPT2 (1.5B parameters, ~24 GiB of model state) does not fit the 44 GiB of
+collective GPU memory on the paper's 4x GTX-1080Ti testbed once
+activations and workspace are counted -- yet Harmony trains it.  This
+script plans and executes one training iteration with both Harmony
+schedules and prints what the Scheduler decided and what it cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Harmony, HarmonyOptions, build_model, four_gpu_commodity_server
+
+
+def main() -> None:
+    server = four_gpu_commodity_server()
+    model = build_model("gpt2")
+
+    print(f"server : {server.describe()}")
+    print(f"model  : {model.summary()}")
+    print(f"         (collective GPU memory: "
+          f"{server.collective_gpu_memory / 2**30:.0f} GiB)")
+    print()
+
+    for mode in ("dp", "pp"):
+        harmony = Harmony(model, server, minibatch=32,
+                          options=HarmonyOptions(mode=mode))
+
+        # The Scheduler: decompose -> profile -> search configurations.
+        plan = harmony.plan()
+        print(plan.describe())
+
+        # The Runtime: execute one iteration on the simulated server.
+        report = harmony.run(plan=plan)
+        print(report.metrics.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

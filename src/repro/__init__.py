@@ -1,0 +1,42 @@
+"""Reproduction of *Harmony* (VLDB 2022).
+
+Harmony trains DNN models whose memory footprint exceeds the collective GPU
+memory of a commodity multi-GPU server.  This package reproduces the full
+system on a discrete-event simulated server substrate:
+
+- :mod:`repro.sim` -- discrete-event engine with CUDA-stream/event analogs.
+- :mod:`repro.hardware` -- machine model (GPUs, PCIe tree, host memory).
+- :mod:`repro.graph` / :mod:`repro.models` -- layer graphs and the model zoo.
+- :mod:`repro.core` -- Harmony itself: Decomposer, Profiler, Scheduler
+  (configuration search, balanced-time packing, task-graph generation,
+  runtime estimation) and the public :class:`~repro.core.harmony.Harmony`
+  facade.
+- :mod:`repro.runtime` -- executes task graphs on the simulated server.
+- :mod:`repro.baselines` -- DP Swap, GPipe Swap(+R), PipeDream-2BW Swap(+R)
+  and a ZeRO-Infinity analog.
+- :mod:`repro.numeric` -- a small float64 autograd engine used to validate
+  that Harmony's schedules preserve synchronous-SGD semantics.
+- :mod:`repro.theory` -- the NP-hardness reduction of Appendix A.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.core.harmony import Harmony, HarmonyOptions, HarmonyReport
+from repro.hardware.server import (
+    ServerSpec,
+    four_gpu_commodity_server,
+    eight_gpu_commodity_server,
+)
+from repro.models.zoo import build_model, available_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Harmony",
+    "HarmonyOptions",
+    "HarmonyReport",
+    "ServerSpec",
+    "four_gpu_commodity_server",
+    "eight_gpu_commodity_server",
+    "build_model",
+    "available_models",
+]

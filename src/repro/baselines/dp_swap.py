@@ -1,0 +1,224 @@
+"""DP Swap: data parallelism with per-GPU memory virtualization.
+
+Every GPU holds a full model replica and processes ``D/N`` samples per
+iteration in microbatches (gradient accumulation), with IBM-LMS-style
+swapping standing in for the memory it does not have.  The touch replay
+exposes the paper's pathologies mechanically:
+
+- *repeated swaps*: each microbatch's forward and backward re-fetch every
+  layer's weights, because the stash evicted them (Section 2, item 1);
+- *unnecessary swaps*: gradients and weights bounce to host between the
+  backward pass and the end-of-iteration update (item 2);
+- *CPU-GPU swaps only*: all N replicas hammer the shared host link with
+  identical traffic -- swap volume grows linearly with N (item 3).
+
+Result: swap volume ``(4m+2)N|W|`` plus activation/gradient traffic --
+the left bars of Figure 9 and the dominant line of Figure 10.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlan, BaselineScheme, LmsReplay
+from repro.core.config import microbatch_group
+from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
+from repro.graph.layer import Phase
+
+
+def layer_chunks(profiles, max_bytes: int, max_layers: int = 32) -> list[tuple[int, int]]:
+    """Contiguous layer chunks whose weights fit a transfer window.
+
+    LMS interleaves swapping and compute layer by layer; emitting one task
+    per (microbatch, chunk) lets the Runtime's prefetch reproduce that
+    overlap without one task per layer.
+    """
+    chunks = []
+    first = 0
+    n = len(profiles)
+    while first < n:
+        last = first
+        acc = profiles[first].param_bytes
+        while (
+            last + 1 < n
+            and last - first + 1 < max_layers
+            and acc + profiles[last + 1].param_bytes <= max_bytes
+        ):
+            last += 1
+            acc += profiles[last].param_bytes
+        chunks.append((first, last))
+        first = last + 1
+    return chunks
+
+
+class DpSwapPlanner(BaselineScheme):
+    """Plan and run DP Swap."""
+
+    name = "dp-swap"
+
+    def plan(self) -> BaselinePlan:
+        n = self.server.n_gpus
+        if self.minibatch % n:
+            raise ValueError("DP minibatch must divide across GPUs")
+        share = self.minibatch // n
+        u = min(self.microbatch, share)
+        mbs = microbatch_group(share, u)
+        capacity = self.server.gpu.memory_bytes
+        chunks = layer_chunks(self.profiles, max_bytes=capacity // 8)
+        profiles = self.profiles
+
+        graph = TaskGraph(mode="dp-swap", n_devices=n, pageable_swaps=True)
+        last_bwd_tid: dict[int, int] = {}
+
+        for gpu in range(n):
+            replay = LmsReplay(capacity)
+            prev_tid = None
+
+            # -- forward: all microbatches, stashing every activation ------
+            for i, size in enumerate(mbs):
+                for first, last in chunks:
+                    replay.begin_step()
+                    for layer in range(first, last + 1):
+                        replay.use(f"W:{layer}", profiles[layer].param_bytes)
+                        replay.produce(
+                            f"stash:{layer}:{i}",
+                            profiles[layer].saved_for_backward_bytes(size),
+                        )
+                    swap_in, swap_out = replay.end_step()
+                    prev_tid = self._emit(
+                        graph, TaskKind.FWD, gpu, first, last, size,
+                        swap_in, swap_out, prev_tid,
+                        label=f"F[{first}-{last}]mb{i}@g{gpu}",
+                    )
+
+            # -- backward: reverse order, consuming stash, accumulating dW --
+            for i in reversed(range(len(mbs))):
+                size = mbs[i]
+                for first, last in reversed(chunks):
+                    replay.begin_step()
+                    for layer in range(last, first - 1, -1):
+                        replay.use(f"W:{layer}", profiles[layer].param_bytes)
+                        replay.use(
+                            f"stash:{layer}:{i}",
+                            profiles[layer].saved_for_backward_bytes(size),
+                        )
+                        replay.drop(f"stash:{layer}:{i}")
+                        replay.use(
+                            f"dW:{layer}", profiles[layer].param_bytes,
+                            write=True,
+                        )
+                    swap_in, swap_out = replay.end_step()
+                    prev_tid = self._emit(
+                        graph, TaskKind.BWD, gpu, first, last, size,
+                        swap_in, swap_out, prev_tid,
+                        label=f"B[{first}-{last}]mb{i}@g{gpu}",
+                    )
+            last_bwd_tid[gpu] = prev_tid
+
+        # -- allreduce + weight update, per replica -------------------------
+        slots = self.model.optimizer_slots
+        for gpu in range(n):
+            replay = LmsReplay(capacity)
+            replay.begin_step()
+            for layer in range(len(profiles)):
+                replay.use(f"W:{layer}", profiles[layer].param_bytes, write=True)
+                replay.use(f"dW:{layer}", profiles[layer].param_bytes)
+                replay.use(
+                    f"K:{layer}",
+                    profiles[layer].param_bytes * slots,
+                    write=True,
+                )
+            for layer in range(len(profiles)):
+                replay.flush(f"W:{layer}")
+                replay.flush(f"K:{layer}")
+            swap_in, swap_out = replay.end_step()
+            task = Task(
+                tid=len(graph.tasks),
+                kind=TaskKind.UPD,
+                first_layer=0,
+                last_layer=len(profiles) - 1,
+                device=gpu,
+                microbatches=(1,),
+                label=f"U@g{gpu}",
+            )
+            task.ins.append(Move(
+                tensor=TensorKind.W, nbytes=swap_in, channel=Channel.SWAP,
+                label="lms-in",
+            ))
+            # Ring allreduce: each replica receives ~2(N-1)/N |W| from its
+            # peers over p2p before it can apply the averaged gradient.
+            ring_bytes = int(2 * (n - 1) / n * profiles.total_param_bytes)
+            for peer in range(n):
+                if peer == gpu:
+                    continue
+                task.ins.append(Move(
+                    tensor=TensorKind.DW,
+                    nbytes=ring_bytes // max(1, n - 1),
+                    channel=Channel.P2P,
+                    peer=peer,
+                    src_task=last_bwd_tid[peer],
+                    label=f"allreduce<-g{peer}",
+                ))
+            task.outs.append(Move(
+                tensor=TensorKind.DW, nbytes=swap_out, channel=Channel.SWAP,
+                label="lms-out",
+            ))
+            graph.add(task)
+
+        graph.validate()
+        host_state = (
+            self.model.model_state_bytes
+            + self.minibatch * self.model.sample_bytes
+        )
+        return BaselinePlan(
+            scheme=self.name,
+            model=self.model,
+            server=self.server,
+            minibatch=self.minibatch,
+            microbatch=u,
+            decomposed=self.decomposed,
+            profiles=self.profiles,
+            graph=graph,
+            host_state_bytes=host_state,
+            notes=f"{len(mbs)} microbatches/GPU, {len(chunks)} layer chunks",
+        )
+
+    def _emit(
+        self,
+        graph: TaskGraph,
+        kind: TaskKind,
+        gpu: int,
+        first: int,
+        last: int,
+        size: int,
+        swap_in: int,
+        swap_out: int,
+        prev_tid,
+        label: str,
+    ) -> int:
+        task = Task(
+            tid=len(graph.tasks),
+            kind=kind,
+            first_layer=first,
+            last_layer=last,
+            device=gpu,
+            microbatches=(size,),
+            recompute=False,  # DP Swap stashes; it does not rematerialize
+            label=label,
+        )
+        if swap_in:
+            task.ins.append(Move(
+                tensor=TensorKind.W, nbytes=swap_in, channel=Channel.SWAP,
+                label="lms-in",
+            ))
+        if prev_tid is not None:
+            task.ins.append(Move(
+                tensor=TensorKind.DW, nbytes=0, channel=Channel.LOCAL,
+                src_task=prev_tid, label="order",
+            ))
+        if swap_out:
+            task.outs.append(Move(
+                tensor=TensorKind.DW, nbytes=swap_out, channel=Channel.SWAP,
+                label="lms-out",
+            ))
+        task.resident_bytes = swap_in
+        graph.add(task)
+        return task.tid

@@ -1,0 +1,240 @@
+"""GP Swap: GPipe pipeline parallelism with per-GPU memory virtualization.
+
+The model is split into N compute-balanced stages pinned one per GPU
+(early binding); microbatches flow through all stages' forwards, then all
+backwards, with a pipeline flush per iteration.  Stage state that exceeds
+GPU memory is virtualized by the LMS replay, which exposes the paper's
+*unbalanced swaps* (Section 2, item 4): without recomputation the head
+stages stash activations for every in-flight microbatch, so their swap
+load -- and hence the pipeline's bottleneck -- is far higher than the
+tail's (Figure 2c).
+
+``recompute=True`` gives the GP Swap (R) variant: stages checkpoint only
+their input and rematerialize in the backward pass, trading compute for a
+large reduction in stash traffic (the (R) bars of Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselinePlan, BaselineScheme, LmsReplay
+from repro.core.config import Pack, microbatch_group, packs_from_boundaries
+from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
+from repro.graph.layer import Phase
+
+
+def compute_balanced_stages(profiles, n_stages: int) -> tuple[Pack, ...]:
+    """Split layers into ``n_stages`` contiguous stages with near-equal
+    total (forward + backward) compute -- how GPipe/PipeDream partition."""
+    times = [
+        profiles[i].time(Phase.FWD, 1) + profiles[i].time(Phase.BWD, 1)
+        for i in range(len(profiles))
+    ]
+    prefix = np.cumsum(times)
+    targets = np.arange(1, n_stages) * (prefix[-1] / n_stages)
+    cuts = np.searchsorted(prefix, targets) + 1
+    cuts = np.clip(cuts, 1, len(times) - 1)
+    boundaries = [0] + sorted(set(int(c) for c in cuts))
+    while len(boundaries) < n_stages:  # degenerate tiny models
+        boundaries.append(boundaries[-1] + 1)
+    return packs_from_boundaries(boundaries[:n_stages], len(times))
+
+
+class GpipeSwapPlanner(BaselineScheme):
+    """Plan and run GP Swap / GP Swap (R)."""
+
+    name = "gp-swap"
+
+    def __init__(self, *args, recompute: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.recompute = recompute
+        if recompute:
+            self.name = "gp-swap-r"
+
+    def default_microbatch(self) -> int:
+        """Pipelines need several microbatches per stage to fill (GPipe
+        recommends m >= 4x the stage count), on top of the memory bound."""
+        fit = super().default_microbatch()
+        pipelined = max(1, self.minibatch // (4 * self.server.n_gpus))
+        return min(fit, pipelined)
+
+    # -- schedule -----------------------------------------------------------------
+
+    def plan(self) -> BaselinePlan:
+        n = self.server.n_gpus
+        u = min(self.microbatch, self.minibatch)
+        mbs = microbatch_group(self.minibatch, u)
+        stages = compute_balanced_stages(self.profiles, n)
+        capacity = self.server.gpu.memory_bytes
+        profiles = self.profiles
+
+        graph = TaskGraph(mode=self.name, n_devices=n, pageable_swaps=True)
+        replays = [LmsReplay(capacity) for _ in range(n)]
+        fwd_tid: dict[tuple[int, int], int] = {}
+        bwd_tid: dict[tuple[int, int], int] = {}
+
+        # Forward phase: stage by stage per microbatch (pipelined by deps).
+        for i, size in enumerate(mbs):
+            for s, stage in enumerate(stages):
+                replay = replays[s]
+                replay.begin_step()
+                for layer in stage.layers:
+                    replay.use(f"W:{layer}", profiles[layer].param_bytes)
+                    if not self.recompute:
+                        replay.produce(
+                            f"stash:{layer}:{i}",
+                            profiles[layer].saved_for_backward_bytes(size),
+                        )
+                if self.recompute:
+                    replay.produce(
+                        f"ckpt:{s}:{i}",
+                        profiles.boundary_in_bytes(stage, size),
+                    )
+                swap_in, swap_out = replay.end_step()
+                task = self._emit(
+                    graph, TaskKind.FWD, s, stage, size, swap_in, swap_out,
+                    label=f"F{s}mb{i}",
+                )
+                if s > 0:
+                    task.ins.append(Move(
+                        tensor=TensorKind.X,
+                        nbytes=profiles.boundary_in_bytes(stage, size),
+                        channel=Channel.P2P,
+                        peer=s - 1,
+                        src_task=fwd_tid[(s - 1, i)],
+                        label="act",
+                    ))
+                fwd_tid[(s, i)] = task.tid
+
+        # Backward phase (after the flush): reverse stages, reverse mbs.
+        for i in reversed(range(len(mbs))):
+            size = mbs[i]
+            for s in reversed(range(n)):
+                stage = stages[s]
+                replay = replays[s]
+                replay.begin_step()
+                if self.recompute:
+                    replay.use(
+                        f"ckpt:{s}:{i}",
+                        profiles.boundary_in_bytes(stage, size),
+                    )
+                    replay.drop(f"ckpt:{s}:{i}")
+                for layer in reversed(list(stage.layers)):
+                    replay.use(f"W:{layer}", profiles[layer].param_bytes)
+                    if self.recompute:
+                        replay.produce(
+                            f"restash:{layer}",
+                            profiles[layer].saved_for_backward_bytes(size),
+                        )
+                        replay.drop(f"restash:{layer}")
+                    else:
+                        replay.use(
+                            f"stash:{layer}:{i}",
+                            profiles[layer].saved_for_backward_bytes(size),
+                        )
+                        replay.drop(f"stash:{layer}:{i}")
+                    replay.use(
+                        f"dW:{layer}", profiles[layer].param_bytes, write=True
+                    )
+                swap_in, swap_out = replay.end_step()
+                task = self._emit(
+                    graph, TaskKind.BWD, s, stage, size, swap_in, swap_out,
+                    label=f"B{s}mb{i}", recompute=self.recompute,
+                )
+                if s < n - 1:
+                    task.ins.append(Move(
+                        tensor=TensorKind.DY,
+                        nbytes=profiles.boundary_out_bytes(stage, size),
+                        channel=Channel.P2P,
+                        peer=s + 1,
+                        src_task=bwd_tid[(s + 1, i)],
+                        label="grad-act",
+                    ))
+                bwd_tid[(s, i)] = task.tid
+
+        # Per-stage weight update.
+        slots = self.model.optimizer_slots
+        for s, stage in enumerate(stages):
+            replay = replays[s]
+            replay.begin_step()
+            for layer in stage.layers:
+                replay.use(f"W:{layer}", profiles[layer].param_bytes, write=True)
+                replay.use(f"dW:{layer}", profiles[layer].param_bytes)
+                replay.use(
+                    f"K:{layer}", profiles[layer].param_bytes * slots,
+                    write=True,
+                )
+            for layer in stage.layers:
+                replay.flush(f"W:{layer}")
+                replay.flush(f"K:{layer}")
+            swap_in, swap_out = replay.end_step()
+            task = Task(
+                tid=len(graph.tasks),
+                kind=TaskKind.UPD,
+                first_layer=stage.first,
+                last_layer=stage.last,
+                device=s,
+                microbatches=(1,),
+                label=f"U{s}",
+            )
+            if swap_in:
+                task.ins.append(Move(
+                    tensor=TensorKind.W, nbytes=swap_in, channel=Channel.SWAP,
+                    label="lms-in",
+                ))
+            task.ins.append(Move(
+                tensor=TensorKind.DW, nbytes=0, channel=Channel.LOCAL,
+                src_task=bwd_tid[(s, 0)], label="order",
+            ))
+            if swap_out:
+                task.outs.append(Move(
+                    tensor=TensorKind.DW, nbytes=swap_out,
+                    channel=Channel.SWAP, label="lms-out",
+                ))
+            graph.add(task)
+
+        graph.validate()
+        host_state = (
+            self.model.model_state_bytes
+            + self.minibatch * self.model.sample_bytes
+        )
+        return BaselinePlan(
+            scheme=self.name,
+            model=self.model,
+            server=self.server,
+            minibatch=self.minibatch,
+            microbatch=u,
+            decomposed=self.decomposed,
+            profiles=self.profiles,
+            graph=graph,
+            host_state_bytes=host_state,
+            notes=f"{n} stages, {len(mbs)} microbatches, "
+                  f"recompute={'on' if self.recompute else 'off'}",
+        )
+
+    def _emit(self, graph, kind, device, stage, size, swap_in, swap_out,
+              label, recompute=False) -> Task:
+        task = Task(
+            tid=len(graph.tasks),
+            kind=kind,
+            first_layer=stage.first,
+            last_layer=stage.last,
+            device=device,
+            microbatches=(size,),
+            recompute=recompute,
+            label=label,
+        )
+        if swap_in:
+            task.ins.append(Move(
+                tensor=TensorKind.W, nbytes=swap_in, channel=Channel.SWAP,
+                label="lms-in",
+            ))
+        if swap_out:
+            task.outs.append(Move(
+                tensor=TensorKind.DW, nbytes=swap_out, channel=Channel.SWAP,
+                label="lms-out",
+            ))
+        task.resident_bytes = swap_in
+        graph.add(task)
+        return task

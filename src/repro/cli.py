@@ -1,0 +1,105 @@
+"""Command-line interface.
+
+Three subcommands:
+
+- ``plan``  -- run the Scheduler for a model and print the searched
+  configuration (the Table 1 view);
+- ``run``   -- plan and execute one iteration, printing throughput and
+  swap metrics (a Figure 9 cell);
+- ``experiment`` -- regenerate one of the paper's tables/figures by name.
+
+Examples::
+
+    python -m repro.cli plan gpt2 --minibatch 64 --mode pp
+    python -m repro.cli run bert96 --minibatch 32 --mode dp --gpus 4
+    python -m repro.cli experiment fig09 --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import render, server_for
+from repro.models.zoo import available_models
+
+EXPERIMENTS = {
+    "fig01": "fig01_growth",
+    "fig02": "fig02_bottleneck",
+    "fig07": "fig07_packing",
+    "fig08": "fig08_memory",
+    "fig09": "fig09_throughput",
+    "fig10": "fig10_swapload",
+    "fig11": "fig11_zero",
+    "fig12": "fig12_correctness",
+    "fig13": "fig13_ablation",
+    "fig14": "fig14_estimator",
+    "fig15": "fig15_massive",
+    "fig16": "fig16_scaling",
+    "tab01": "tab01_search",
+    "tab04": "tab04_equifb",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Harmony (VLDB 2022) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", choices=available_models())
+        p.add_argument("--minibatch", type=int, default=32)
+        p.add_argument("--mode", choices=("dp", "pp"), default="pp")
+        p.add_argument("--gpus", type=int, default=4, choices=(1, 2, 4, 8))
+
+    plan = sub.add_parser("plan", help="run the Scheduler only")
+    add_model_args(plan)
+
+    run = sub.add_parser("run", help="plan and execute one iteration")
+    add_model_args(run)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--fast", action="store_true",
+                            help="shrunk sweep for a quick look")
+    return parser
+
+
+def _harmony(args: argparse.Namespace) -> Harmony:
+    return Harmony(
+        args.model,
+        server_for(args.gpus),
+        args.minibatch,
+        options=HarmonyOptions(mode=args.mode),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "plan":
+        plan = _harmony(args).plan()
+        print(plan.describe())
+        print(plan.config.pack_table())
+        return 0
+    if args.command == "run":
+        report = _harmony(args).run()
+        print(report.describe())
+        return 0
+    if args.command == "experiment":
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENTS[args.name]}"
+        )
+        rows = module.run(fast=args.fast)
+        print(render(rows))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

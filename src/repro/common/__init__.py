@@ -1,0 +1,28 @@
+"""Shared helpers: units, errors and tiny utilities used across subsystems."""
+
+from repro.common.units import KiB, MiB, GiB, KB, MB, GB, fmt_bytes, fmt_time
+from repro.common.errors import (
+    ReproError,
+    GpuOutOfMemoryError,
+    HostOutOfMemoryError,
+    InfeasibleConfigError,
+    GraphError,
+    SchedulingError,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "fmt_bytes",
+    "fmt_time",
+    "ReproError",
+    "GpuOutOfMemoryError",
+    "HostOutOfMemoryError",
+    "InfeasibleConfigError",
+    "GraphError",
+    "SchedulingError",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the reproduction package.
+
+Every error raised by the package derives from :class:`ReproError` so
+applications can catch package failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GpuOutOfMemoryError(ReproError):
+    """A (simulated) GPU allocation exceeded the device's memory capacity."""
+
+
+class HostOutOfMemoryError(ReproError):
+    """The host (CPU) memory pool could not satisfy an allocation.
+
+    Raised e.g. when ZeRO-Infinity's working set exceeds the server's CPU
+    memory (Figure 15 of the paper).
+    """
+
+
+class InfeasibleConfigError(ReproError):
+    """A training configuration cannot fit the machine under any packing."""
+
+
+class GraphError(ReproError):
+    """Malformed layer graph (cycles, dangling branches, bad indices)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler produced or was given an inconsistent task graph."""
+
+
+class SimulationError(ReproError):
+    """Internal discrete-event simulation invariant violated."""

@@ -1,0 +1,41 @@
+"""Byte/time unit constants and human-readable formatting.
+
+All sizes in the package are plain ``int`` bytes and all durations plain
+``float`` seconds; these helpers exist so call sites read naturally
+(``11 * GiB``) and reports print nicely.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal variants, used for link bandwidths which vendors quote in GB/s.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+_BYTE_STEPS = [(GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")]
+_TIME_STEPS = [(1.0, "s"), (1e-3, "ms"), (1e-6, "us")]
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``fmt_bytes(3 * GiB)``
+    -> ``"3.00 GiB"``."""
+    if nbytes < 0:
+        return "-" + fmt_bytes(-nbytes)
+    for step, suffix in _BYTE_STEPS:
+        if nbytes >= step:
+            return f"{nbytes / step:.2f} {suffix}"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an appropriate suffix, e.g. ``"12.3 ms"``."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    for step, suffix in _TIME_STEPS:
+        if seconds >= step:
+            return f"{seconds / step:.3g} {suffix}"
+    return f"{seconds * 1e9:.3g} ns"

@@ -1,0 +1,36 @@
+"""Harmony core: Decomposer, Profiler, Scheduler, and the public facade.
+
+The pipeline mirrors Figure 3 of the paper:
+
+1. :mod:`~repro.core.decomposer` extracts a sequential layer graph and
+   per-layer executable units from a model.
+2. :mod:`~repro.core.profiler` measures each layer across microbatch sizes
+   and fits a regression for unsampled sizes.
+3. :mod:`~repro.core.search` (Algorithm 1) sweeps training configurations,
+   calling :mod:`~repro.core.packing` (Algorithm 2) for layer packs,
+   :mod:`~repro.core.taskgraph` (Algorithm 3) for task graphs, and
+   :mod:`~repro.core.estimator` for event-driven runtime estimates.
+4. :class:`~repro.core.harmony.Harmony` wires it all together and hands the
+   winning task graph to :mod:`repro.runtime` for execution.
+"""
+
+from repro.core.types import (
+    Channel,
+    Move,
+    Task,
+    TaskGraph,
+    TaskKind,
+    TensorKind,
+)
+from repro.core.config import Configuration, Pack
+
+__all__ = [
+    "Channel",
+    "Move",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "TensorKind",
+    "Configuration",
+    "Pack",
+]

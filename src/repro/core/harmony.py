@@ -1,0 +1,221 @@
+"""The public Harmony facade.
+
+Users hand Harmony a model (by name or spec), a server, and a minibatch
+size -- the illusion of a single virtual device with unbounded memory --
+and Harmony decomposes, profiles, searches configurations, and executes:
+
+    >>> from repro import Harmony, four_gpu_commodity_server
+    >>> h = Harmony("gpt2", four_gpu_commodity_server(), minibatch=16)
+    >>> report = h.run()  # doctest: +SKIP
+    >>> report.metrics.throughput  # samples/sec  # doctest: +SKIP
+
+``plan()`` runs the Scheduler only (Table 1 reports its timing); ``run()``
+executes the planned task graph on the simulated server and returns both
+the plan and the measured iteration metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.core.config import Configuration
+from repro.core.decomposer import DecomposedModel, Decomposer
+from repro.core.estimator import RuntimeEstimator
+from repro.core.profiler import ModelProfiles, Profiler
+from repro.core.search import (
+    ConfigurationSearch,
+    Explored,
+    SearchResult,
+    SearchSettings,
+)
+from repro.core.taskgraph import HarmonyGraphBuilder, ScheduleOptions
+from repro.core.types import TaskGraph
+from repro.hardware.server import ServerSpec, SimulatedServer
+from repro.models.spec import ModelSpec
+from repro.models.zoo import build_model
+from repro.runtime.executor import Executor
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.timemodel import TrueTimeModel
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class HarmonyOptions:
+    """Everything tunable about a Harmony run (defaults match the paper)."""
+
+    mode: str = "pp"                  # "pp" (wrap-around pipeline) or "dp"
+    grouping: bool = True
+    jit: bool = True
+    p2p: bool = True
+    offload_optimizer: bool = True
+    prefetch: bool = True
+    u_fmax: int = 64
+    u_bmax: int = 64
+    capacity_fraction: float = 0.45
+    exhaustive_search: bool = False
+    equi_fb: bool = False
+    seed: int = 0
+
+    def schedule_options(self) -> ScheduleOptions:
+        return ScheduleOptions(
+            mode=self.mode,
+            grouping=self.grouping,
+            jit=self.jit,
+            p2p=self.p2p,
+            offload_optimizer=self.offload_optimizer,
+            prefetch=self.prefetch,
+        )
+
+    def search_settings(self) -> SearchSettings:
+        return SearchSettings(
+            u_fmax=self.u_fmax,
+            u_bmax=self.u_bmax,
+            capacity_fraction=self.capacity_fraction,
+            exhaustive=self.exhaustive_search,
+            equi_fb=self.equi_fb,
+        )
+
+    def without(self, optimization: str) -> "HarmonyOptions":
+        """Turn one optimization off (for the Figure 13 ablations)."""
+        known = {
+            "grouping": {"grouping": False},
+            "jit": {"jit": False},
+            "p2p": {"p2p": False},
+            "offload_optimizer": {"offload_optimizer": False},
+            "prefetch": {"prefetch": False},
+        }
+        if optimization not in known:
+            raise ValueError(
+                f"unknown optimization {optimization!r}; "
+                f"expected one of {sorted(known)}"
+            )
+        return replace(self, **known[optimization])
+
+
+@dataclass
+class HarmonyPlan:
+    """Output of the Scheduler: everything needed to execute."""
+
+    model: ModelSpec
+    server: ServerSpec
+    minibatch: int
+    options: HarmonyOptions
+    decomposed: DecomposedModel
+    profiles: ModelProfiles
+    search: SearchResult
+    graph: TaskGraph
+
+    @property
+    def config(self) -> Configuration:
+        return self.search.best
+
+    def describe(self) -> str:
+        return (
+            f"Harmony {self.options.mode.upper()} plan for {self.model.name} "
+            f"(minibatch {self.minibatch}) on {self.server.describe()}:\n"
+            f"  {self.search.describe()}\n"
+            f"  {len(self.graph)} tasks, "
+            f"static swap {self.graph.global_swap_bytes() / 2**30:.2f} GiB/iter"
+        )
+
+
+@dataclass
+class HarmonyReport:
+    """A plan plus the metrics of actually running it."""
+
+    plan: HarmonyPlan
+    metrics: RunMetrics
+
+    def describe(self) -> str:
+        return self.plan.describe() + "\n" + self.metrics.describe()
+
+
+class Harmony:
+    """End-to-end driver: decompose -> profile -> schedule -> execute."""
+
+    def __init__(
+        self,
+        model: Union[str, ModelSpec],
+        server: ServerSpec,
+        minibatch: int,
+        options: HarmonyOptions = HarmonyOptions(),
+    ):
+        self.model = build_model(model) if isinstance(model, str) else model
+        self.server = server
+        self.minibatch = minibatch
+        self.options = options
+        self._plan: Optional[HarmonyPlan] = None
+
+    # -- scheduling -------------------------------------------------------------
+
+    def plan(self, config: Optional[Configuration] = None) -> HarmonyPlan:
+        """Run Decomposer, Profiler and Scheduler; memoized.
+
+        Passing ``config`` skips the search and plans that configuration
+        verbatim (used by the ablation and estimator-accuracy experiments).
+        """
+        if self._plan is not None and config is None:
+            return self._plan
+        decomposed = Decomposer(seed=self.options.seed).decompose(self.model)
+        profiles = Profiler(self.server.gpu).profile(decomposed)
+        schedule_options = self.options.schedule_options()
+        builder = HarmonyGraphBuilder(
+            profiles, self.server.n_gpus, self.minibatch, schedule_options
+        )
+        if config is None:
+            search = ConfigurationSearch(
+                profiles, self.server, self.minibatch, schedule_options,
+                self.options.search_settings(),
+            ).search()
+        else:
+            graph = builder.build(config)
+            estimator = RuntimeEstimator(profiles, self.server,
+                                         prefetch=schedule_options.prefetch)
+            estimate = estimator.estimate_graph(graph)
+            search = SearchResult(
+                best=config, best_estimate=estimate,
+                explored=[Explored(config, estimate)],
+            )
+        graph = builder.build(search.best)
+        plan = HarmonyPlan(
+            model=self.model,
+            server=self.server,
+            minibatch=self.minibatch,
+            options=self.options,
+            decomposed=decomposed,
+            profiles=profiles,
+            search=search,
+            graph=graph,
+        )
+        if config is None:
+            self._plan = plan
+        return plan
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, plan: Optional[HarmonyPlan] = None,
+            iterations: int = 1) -> HarmonyReport:
+        """Execute training iterations on a fresh simulated server.
+
+        ``iterations > 1`` runs back-to-back iterations (flush-separated,
+        preserving synchronous SGD) and reports per-iteration averages.
+        """
+        plan = plan or self.plan()
+        sim = Simulator()
+        live = SimulatedServer(sim, self.server)
+        time_model = TrueTimeModel(
+            plan.decomposed, self.server.gpu, self.server.host,
+            n_gpus=self.server.n_gpus,
+        )
+        host_state = (
+            self.model.model_state_bytes
+            + self.minibatch * self.model.sample_bytes
+        )
+        executor = Executor(
+            live, time_model,
+            prefetch=self.options.prefetch,
+            host_state_bytes=host_state,
+        )
+        metrics = executor.run(plan.graph, iterations=iterations)
+        return HarmonyReport(plan=plan, metrics=metrics)

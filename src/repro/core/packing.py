@@ -1,0 +1,187 @@
+"""Layer packing (Algorithm 2: Balanced Time Packing).
+
+Given a phase, a microbatch size and the profiled per-layer time/memory
+lists, find contiguous layer packs that (a) fit GPU memory and (b) have
+near-equal compute time -- avoiding the stragglers that greedy
+memory-maximal packing creates (Figure 7).
+
+The search loops over the number of packs ``S`` starting from the memory
+lower bound (largest feasible packs first, maximizing average pack size),
+splits the layer chain at the balanced time quantiles via binary search on
+the prefix-sum of layer times, and returns the first split whose packs all
+fit in memory.  Worst-case ``O(R^2)`` as stated in the paper.
+
+Forward packing can be constrained by an existing backward pack list: the
+last forward pack is forced equal to the last backward pack (the
+jit-compute optimization of Algorithm 1), so the first backward task needs
+no rematerialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import InfeasibleConfigError
+from repro.core.config import Pack, packs_from_boundaries, validate_packs
+from repro.core.profiler import ModelProfiles
+from repro.graph.layer import Phase
+
+
+def _essential_bytes(profiles: ModelProfiles, phase: Phase, layer: int, u: int) -> int:
+    """Irreducible residency a layer contributes to its pack's footprint,
+    used only for the pack-count lower bound ``S_min``."""
+    params = profiles[layer].param_bytes
+    if phase is Phase.FWD:
+        return params
+    return 2 * params + profiles[layer].act_out_bytes(u)
+
+
+def _split_packs(times: Sequence[float], n_packs: int) -> Optional[tuple[Pack, ...]]:
+    """Split layers into ``n_packs`` contiguous packs of near-equal time.
+
+    Implements lines 7-11 of Algorithm 2: compute the average per-pack
+    time ``c``, binary-search the accumulated pack times ``[c, 2c, ...]``
+    into the prefix sums of layer times, and cut there.  Returns ``None``
+    when cuts collide (a single layer exceeds the quantile step), in which
+    case the caller tries more packs.
+    """
+    n_layers = len(times)
+    if n_packs == 1:
+        return (Pack(0, n_layers - 1),)
+    prefix = np.cumsum(np.asarray(times, dtype=float))
+    total = prefix[-1]
+    targets = np.arange(1, n_packs) * (total / n_packs)
+    cuts = np.searchsorted(prefix, targets, side="left") + 1
+    cuts = np.clip(cuts, 1, n_layers - 1)
+    boundaries = [0] + sorted(set(int(c) for c in cuts))
+    if len(boundaries) != n_packs:
+        return None
+    boundaries = _refine_boundaries(prefix, boundaries)
+    return packs_from_boundaries(boundaries, n_layers)
+
+
+def _refine_boundaries(prefix: np.ndarray, boundaries: list[int]) -> list[int]:
+    """Local search shaving the longest pack: nudge each cut one layer at a
+    time while it reduces the maximum pack time.  Quantile cuts land within
+    one layer of optimal; this removes that rounding (a straggler pack is a
+    straggler *pipeline stage*, so the last layer matters)."""
+    n_layers = len(prefix)
+
+    def pack_time(first: int, last_exclusive: int) -> float:
+        left = prefix[first - 1] if first > 0 else 0.0
+        return float(prefix[last_exclusive - 1] - left)
+
+    improved = True
+    while improved:
+        improved = False
+        for i in range(1, len(boundaries)):
+            lo = boundaries[i - 1] + 1
+            hi = boundaries[i + 1] - 1 if i + 1 < len(boundaries) else n_layers - 1
+            cur = boundaries[i]
+            left_first = boundaries[i - 1]
+            right_end = boundaries[i + 1] if i + 1 < len(boundaries) else n_layers
+            best_cut, best_cost = cur, max(
+                pack_time(left_first, cur), pack_time(cur, right_end)
+            )
+            for cut in (cur - 1, cur + 1):
+                if not lo <= cut <= hi:
+                    continue
+                cost = max(pack_time(left_first, cut), pack_time(cut, right_end))
+                if cost < best_cost - 1e-12:
+                    best_cut, best_cost = cut, cost
+            if best_cut != cur:
+                boundaries[i] = best_cut
+                improved = True
+    return boundaries
+
+
+def balanced_time_packing(
+    phase: Phase,
+    u: int,
+    profiles: ModelProfiles,
+    capacity: int,
+    n_layers: Optional[int] = None,
+    backward_packs: Optional[Sequence[Pack]] = None,
+    min_packs: int = 1,
+) -> tuple[Pack, ...]:
+    """Algorithm 2.  Returns packs with balanced time and maximal size.
+
+    ``backward_packs`` triggers the forward-packing mode: only the layers
+    before the last backward pack are packed, and that last backward pack
+    is appended verbatim as the final forward pack (jit-compute).
+
+    ``min_packs`` raises the starting pack count; the search engine uses it
+    to also evaluate pack counts rounded to a multiple of the GPU count,
+    where the wrap-around pipeline has no leftover-pack straggler.
+    """
+    total_layers = len(profiles) if n_layers is None else n_layers
+
+    forced_tail: Optional[Pack] = None
+    if backward_packs is not None:
+        forced_tail = backward_packs[-1]
+        total_layers = forced_tail.first  # pack only layers before it
+        if total_layers == 0:
+            return (forced_tail,)
+
+    times = [profiles[i].time(phase, u) for i in range(total_layers)]
+    essentials = [
+        _essential_bytes(profiles, phase, i, u) for i in range(total_layers)
+    ]
+    s_min = max(min_packs, 1, -(-sum(essentials) // capacity))
+
+    for n_packs in range(s_min, total_layers + 1):
+        packs = _split_packs(times, n_packs)
+        if packs is None:
+            continue
+        if all(
+            profiles.pack_memory(phase, pack, u) <= capacity for pack in packs
+        ):
+            if forced_tail is not None:
+                packs = packs + (forced_tail,)
+                validate_packs(packs, forced_tail.last + 1)
+            return packs
+
+    raise InfeasibleConfigError(
+        f"no {phase.value} packing fits {capacity} B at microbatch {u}; "
+        "even single-layer packs exceed GPU memory"
+    )
+
+
+def greedy_memory_packing(
+    phase: Phase,
+    u: int,
+    profiles: ModelProfiles,
+    capacity: int,
+) -> tuple[Pack, ...]:
+    """The strawman of Figure 7: grow each pack to the memory limit.
+
+    Produces the largest packs that fit, ignoring time balance -- fewer,
+    coarser tasks whose unequal runtimes create pipeline stragglers.
+    """
+    packs: list[Pack] = []
+    first = 0
+    n_layers = len(profiles)
+    while first < n_layers:
+        last = first
+        while last + 1 < n_layers and (
+            profiles.pack_memory(phase, Pack(first, last + 1), u) <= capacity
+        ):
+            last += 1
+        if profiles.pack_memory(phase, Pack(first, last), u) > capacity:
+            raise InfeasibleConfigError(
+                f"layer {first} alone exceeds capacity at microbatch {u}"
+            )
+        packs.append(Pack(first, last))
+        first = last + 1
+    return tuple(packs)
+
+
+def pack_imbalance(profiles: ModelProfiles, phase: Phase, packs: Sequence[Pack], u: int) -> float:
+    """Max/mean pack-time ratio; 1.0 is perfectly balanced."""
+    times = [profiles.pack_time(phase, pack, u) for pack in packs]
+    mean = sum(times) / len(times)
+    if mean == 0:
+        return 1.0
+    return max(times) / mean

@@ -1,0 +1,222 @@
+"""Harmony's Profiler (Section 4.2).
+
+Runs each layer individually on a single GPU of the deployment type,
+sampling a handful of microbatch sizes, and fits a linear regression per
+layer/phase so the Scheduler can interpolate characteristics at any
+unsampled microbatch size ("strikingly accurate" per the paper, because
+layer cost is affine in the microbatch size to first order).
+
+The resulting :class:`ModelProfiles` is the ``phi`` argument of
+Algorithms 1 and 2: per-layer time/memory/activation sizes, plus the
+pack-level aggregates (footprints and boundary tensor sizes) the packing
+algorithm and task-graph generator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import SchedulingError
+from repro.core.config import Pack
+from repro.core.decomposer import DecomposedModel
+from repro.graph.layer import Phase
+from repro.hardware.gpu import GpuSpec
+
+DEFAULT_SAMPLE_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class AffineFit:
+    """``value(u) = intercept + slope * u``, fitted by least squares."""
+
+    intercept: float
+    slope: float
+
+    def __call__(self, u: int) -> float:
+        return self.intercept + self.slope * u
+
+    @classmethod
+    def fit(cls, xs: Sequence[float], ys: Sequence[float]) -> "AffineFit":
+        if len(xs) != len(ys) or not xs:
+            raise SchedulingError("regression needs matching non-empty samples")
+        if len(xs) == 1:
+            return cls(intercept=0.0, slope=ys[0] / xs[0] if xs[0] else 0.0)
+        slope, intercept = np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 1)
+        return cls(intercept=float(intercept), slope=float(slope))
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Regressed per-layer characteristics (time in s, sizes in bytes)."""
+
+    index: int
+    name: str
+    param_bytes: int
+    time_fwd: AffineFit
+    time_bwd: AffineFit
+    time_upd: float
+    mem_fwd: AffineFit
+    mem_bwd: AffineFit
+    act_in_per_sample: int
+    act_out_per_sample: int
+    workspace_per_sample: int = 0
+
+    def time(self, phase: Phase, u: int) -> float:
+        if phase is Phase.FWD:
+            return max(0.0, self.time_fwd(u))
+        if phase is Phase.BWD:
+            return max(0.0, self.time_bwd(u))
+        return self.time_upd
+
+    def memory(self, phase: Phase, u: int) -> int:
+        if phase is Phase.FWD:
+            return max(0, int(self.mem_fwd(u)))
+        if phase is Phase.BWD:
+            return max(0, int(self.mem_bwd(u)))
+        return 2 * self.param_bytes
+
+    def act_in_bytes(self, u: int) -> int:
+        return self.act_in_per_sample * u
+
+    def act_out_bytes(self, u: int) -> int:
+        return self.act_out_per_sample * u
+
+    def saved_for_backward_bytes(self, u: int) -> int:
+        """What a no-recompute backward must keep from the forward pass:
+        the output activation plus intermediate workspace (e.g. attention
+        probabilities) -- the tensors autograd saves."""
+        return (self.act_out_per_sample + self.workspace_per_sample) * u
+
+
+class ModelProfiles:
+    """The Scheduler's view of a profiled model (``phi``)."""
+
+    def __init__(
+        self,
+        layers: Sequence[LayerProfile],
+        optimizer_slots: int,
+        gpu: GpuSpec,
+    ):
+        self.layers = list(layers)
+        self.optimizer_slots = optimizer_slots
+        self.gpu = gpu
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> LayerProfile:
+        return self.layers[index]
+
+    # -- per-layer lists used by Algorithm 2 ---------------------------------
+
+    def time_list(self, phase: Phase, u: int) -> list[float]:
+        return [layer.time(phase, u) for layer in self.layers]
+
+    def memory_list(self, phase: Phase, u: int) -> list[int]:
+        return [layer.memory(phase, u) for layer in self.layers]
+
+    # -- pack-level aggregates -------------------------------------------------
+
+    def pack_param_bytes(self, pack: Pack) -> int:
+        return sum(self.layers[i].param_bytes for i in pack.layers)
+
+    def pack_time(self, phase: Phase, pack: Pack, u: int) -> float:
+        return sum(self.layers[i].time(phase, u) for i in pack.layers)
+
+    def pack_fwd_memory(self, pack: Pack, u: int) -> int:
+        """Footprint of a forward task, following Algorithm 2 line 13:
+        the *sum* of the per-layer forward memory list over the pack
+        (``m[p].Sum()``).  Summing is conservative -- it charges every
+        layer's live activations at once -- and is exactly what keeps the
+        paper's packs fine-grained enough for the pipeline to balance."""
+        return sum(self.layers[i].memory(Phase.FWD, u) for i in pack.layers)
+
+    def pack_bwd_memory(self, pack: Pack, u: int) -> int:
+        """Footprint of a backward task: the sum of the per-layer backward
+        memory list (weights + grads + recomputed stash + transients per
+        layer), per Algorithm 2."""
+        return sum(self.layers[i].memory(Phase.BWD, u) for i in pack.layers)
+
+    def pack_memory(self, phase: Phase, pack: Pack, u: int) -> int:
+        if phase is Phase.FWD:
+            return self.pack_fwd_memory(pack, u)
+        if phase is Phase.BWD:
+            return self.pack_bwd_memory(pack, u)
+        return sum(
+            (2 + self.optimizer_slots) * self.layers[i].param_bytes
+            for i in pack.layers
+        )
+
+    # -- boundary tensors --------------------------------------------------------
+
+    def boundary_in_bytes(self, pack: Pack, u: int) -> int:
+        """Size of the pack's input activation for one microbatch."""
+        return self.layers[pack.first].act_in_bytes(u)
+
+    def boundary_out_bytes(self, pack: Pack, u: int) -> int:
+        return self.layers[pack.last].act_out_bytes(u)
+
+    def pack_optimizer_bytes(self, pack: Pack) -> int:
+        return self.pack_param_bytes(pack) * self.optimizer_slots
+
+    def pack_update_flops(self, pack: Pack) -> float:
+        """FLOPs of the optimizer step over the pack's parameters."""
+        return sum(
+            10.0 * self.layers[i].param_bytes / 4 for i in pack.layers
+        )
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(layer.param_bytes for layer in self.layers)
+
+
+class Profiler:
+    """Times each layer unit at sampled microbatch sizes, fits regressions.
+
+    ``sample_sizes`` defaults to powers of two up to 64; brute-force
+    profiling of every size is impractical (Section 4.2), and the affine
+    regression interpolates the rest.
+    """
+
+    def __init__(self, gpu: GpuSpec, sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES):
+        if not sample_sizes or any(s < 1 for s in sample_sizes):
+            raise SchedulingError("profiler sample sizes must be positive")
+        self.gpu = gpu
+        self.sample_sizes = tuple(sorted(set(sample_sizes)))
+
+    def profile(self, decomposed: DecomposedModel) -> ModelProfiles:
+        profiles = []
+        for unit in decomposed.units:
+            xs = list(self.sample_sizes)
+            spec = unit.spec
+            profiles.append(
+                LayerProfile(
+                    index=spec.index,
+                    name=spec.name,
+                    param_bytes=spec.param_bytes,
+                    time_fwd=AffineFit.fit(
+                        xs, [unit.run_time(self.gpu, Phase.FWD, u) for u in xs]
+                    ),
+                    time_bwd=AffineFit.fit(
+                        xs, [unit.run_time(self.gpu, Phase.BWD, u) for u in xs]
+                    ),
+                    time_upd=unit.run_time(self.gpu, Phase.UPD, 1),
+                    mem_fwd=AffineFit.fit(
+                        xs, [unit.memory_bytes(Phase.FWD, u) for u in xs]
+                    ),
+                    mem_bwd=AffineFit.fit(
+                        xs, [unit.memory_bytes(Phase.BWD, u) for u in xs]
+                    ),
+                    act_in_per_sample=spec.act_in_bytes_per_sample,
+                    act_out_per_sample=spec.act_out_bytes_per_sample,
+                    workspace_per_sample=spec.workspace_bytes_per_sample,
+                )
+            )
+        return ModelProfiles(
+            profiles,
+            optimizer_slots=decomposed.model.optimizer_slots,
+            gpu=self.gpu,
+        )

@@ -1,0 +1,12 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(fast: bool = False) -> list[dict]`` returning
+the rows the paper's plot/table reports, plus ``render(rows) -> str`` for
+a human-readable table.  ``fast=True`` shrinks sweeps for CI; the
+benchmark harness runs the full setting and ``EXPERIMENTS.md`` records
+paper-vs-measured values.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

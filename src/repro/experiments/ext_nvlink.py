@@ -1,0 +1,78 @@
+"""Extension experiment: Harmony on an NVLink-equipped server.
+
+The paper's footnote 3 claims "NVLink will only enhance Harmony's
+advantages due to p2p transfers".  This experiment fits the 4-GPU testbed
+with an NVLink 2.0 mesh (25 GB/s per direction per pair) and re-runs
+Harmony DP and PP: the pipeline's inter-pack activations leave the PCIe
+tree entirely, so PP gains while DP (which never uses p2p) is unchanged
+-- exactly the footnote's prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import GIB, Row, render
+from repro.hardware.gpu import GTX_1080TI
+from repro.hardware.host import COMMODITY_XEON_18C
+from repro.hardware.interconnect import NVLINK2_BW, TopologySpec
+from repro.hardware.server import ServerSpec
+
+MODELS = ("gpt2", "vgg416")
+MINIBATCH = 32
+
+
+def nvlink_server() -> ServerSpec:
+    return ServerSpec(
+        n_gpus=4,
+        gpu=GTX_1080TI,
+        host=COMMODITY_XEON_18C,
+        topology=TopologySpec(n_gpus=4, gpus_per_switch=4,
+                              nvlink_bandwidth=NVLINK2_BW),
+    )
+
+
+def pcie_server() -> ServerSpec:
+    return ServerSpec(n_gpus=4, gpu=GTX_1080TI, host=COMMODITY_XEON_18C)
+
+
+def run(fast: bool = False, models: tuple[str, ...] = MODELS) -> list[Row]:
+    if fast:
+        models = models[:1]
+    rows: list[Row] = []
+    for model in models:
+        for mode in ("dp", "pp"):
+            for label, server in (("pcie", pcie_server()),
+                                  ("nvlink", nvlink_server())):
+                harmony = Harmony(model, server, MINIBATCH,
+                                  options=HarmonyOptions(mode=mode))
+                metrics = harmony.run().metrics
+                rows.append({
+                    "model": model,
+                    "scheme": f"harmony-{mode}",
+                    "interconnect": label,
+                    "iteration(s)": metrics.iteration_time,
+                    "p2p(GiB)": metrics.global_p2p_bytes / GIB,
+                })
+    return rows
+
+
+def nvlink_gain(rows: list[Row], model: str, mode: str) -> float:
+    """Iteration-time ratio pcie/nvlink (>1 means NVLink helped)."""
+    by = {
+        (r["model"], r["scheme"], r["interconnect"]): r["iteration(s)"]
+        for r in rows
+    }
+    return (by[(model, f"harmony-{mode}", "pcie")]
+            / by[(model, f"harmony-{mode}", "nvlink")])
+
+
+def main() -> None:
+    rows = run()
+    print(render(rows))
+    for model in MODELS:
+        print(f"{model}: NVLink gain PP={nvlink_gain(rows, model, 'pp'):.3f}x "
+              f"DP={nvlink_gain(rows, model, 'dp'):.3f}x")
+
+
+if __name__ == "__main__":
+    main()

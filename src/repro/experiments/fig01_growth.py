@@ -1,0 +1,77 @@
+"""Figure 1: growth of DNN model size versus GPU memory capacity.
+
+A data figure in the paper (sources [14, 57]); we reproduce the two
+series -- landmark model sizes and flagship GPU memory by year -- and the
+headline statistic: model state grows orders of magnitude faster than
+device memory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Row, render
+
+#: (year, model, parameters) -- landmark models from the paper's figure.
+MODEL_SIZES = [
+    (2012, "AlexNet", 60e6),
+    (2014, "VGG19", 144e6),
+    (2015, "ResNet-152", 60e6),
+    (2017, "Transformer", 213e6),
+    (2018, "BERT-Large", 340e6),
+    (2019, "GPT-2", 1.5e9),
+    (2019, "Megatron-LM", 8.3e9),
+    (2020, "T5-11B", 11e9),
+    (2020, "GPT-3", 175e9),
+    (2021, "MT-NLG (announced)", 530e9),
+]
+
+#: (year, gpu, memory GiB) -- flagship NVIDIA parts.
+GPU_MEMORY = [
+    (2012, "K20", 5),
+    (2014, "K40", 12),
+    (2016, "P100", 16),
+    (2017, "V100", 16),
+    (2018, "V100-32", 32),
+    (2020, "A100-40", 40),
+    (2021, "A100-80", 80),
+]
+
+FP32_STATE_BYTES_PER_PARAM = 16  # weights + grads + two Adam moments
+
+
+def run(fast: bool = False) -> list[Row]:
+    rows: list[Row] = []
+    for year, model, params in MODEL_SIZES:
+        gpu_year, gpu, mem = max(
+            (g for g in GPU_MEMORY if g[0] <= year), key=lambda g: g[0]
+        )
+        state_gib = params * FP32_STATE_BYTES_PER_PARAM / 2**30
+        rows.append({
+            "year": year,
+            "model": model,
+            "params(B)": params / 1e9,
+            "model_state(GiB)": state_gib,
+            "flagship_gpu": f"{gpu} ({gpu_year})",
+            "gpu_mem(GiB)": mem,
+            "state/gpu_ratio": state_gib / mem,
+        })
+    return rows
+
+
+def headline(rows: list[Row]) -> str:
+    first, last = rows[0], rows[-1]
+    model_growth = last["params(B)"] / first["params(B)"]
+    gpu_growth = GPU_MEMORY[-1][2] / GPU_MEMORY[0][2]
+    return (
+        f"2012-2021: model size grew {model_growth:,.0f}x while flagship GPU "
+        f"memory grew {gpu_growth:.0f}x"
+    )
+
+
+def main() -> None:
+    rows = run()
+    print(render(rows))
+    print(headline(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Figure 2: the swap bottleneck of per-GPU virtualization.
+
+(b) Training BERT-Large with DP Swap at a fixed per-GPU batch: total swap
+volume grows linearly with the GPU count, exposing the shared PCIe uplink
+and flat-lining throughput.  (c) GP Swap's per-stage swap volumes are
+unbalanced: the head stages stash more, making them the pipeline
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DpSwapPlanner, PipeDream2BWPlanner
+from repro.experiments.common import GIB, Row, render, server_for
+
+MODEL = "bert-large"
+# Panel (c) uses the deeper BERT variant: per-stage state large enough
+# that the 1F1B head stages' deeper in-flight stash actually spills.
+PP_MODEL = "bert96"
+PER_GPU_BATCH = 5
+
+
+def run(fast: bool = False) -> list[Row]:
+    rows: list[Row] = []
+    gpu_counts = (1, 2, 4) if fast else (1, 2, 3, 4)
+    for n in gpu_counts:
+        server = server_for(n)
+        planner = DpSwapPlanner(MODEL, server, minibatch=PER_GPU_BATCH * n,
+                                microbatch=PER_GPU_BATCH)
+        metrics = planner.run()
+        rows.append({
+            "panel": "b:dp-swap",
+            "gpus": n,
+            "minibatch": PER_GPU_BATCH * n,
+            "global_swap(GiB)": metrics.global_swap_bytes / GIB,
+            "throughput(samples/s)": metrics.throughput,
+        })
+
+    server = server_for(4)
+    planner = PipeDream2BWPlanner(PP_MODEL, server,
+                                  minibatch=PER_GPU_BATCH * 4,
+                                  microbatch=PER_GPU_BATCH)
+    metrics = planner.run()
+    for gpu, g in enumerate(metrics.gpus):
+        rows.append({
+            "panel": "c:pp-swap-stage",
+            "gpus": gpu,  # stage id == GPU id for the pipeline
+            "minibatch": PER_GPU_BATCH * 4,
+            "global_swap(GiB)": g.swap_bytes / GIB,
+            "throughput(samples/s)": metrics.throughput,
+        })
+    return rows
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figures 8 and 18: training memory footprint versus minibatch size.
+
+Breaks the footprint into the paper's components -- weights, running
+state (gradients + optimizer moments), stashed activations / workspace
+under recomputation checkpointing, and input data -- showing that even
+the smallest minibatch exceeds a single GPU (and often the whole server's
+collective GPU memory).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import GIB, Row, render, server_for
+from repro.models.zoo import build_model
+
+TRANSFORMERS = ("bert96", "gpt2")
+CNNS = ("vgg416", "resnet1k")
+BATCHES = (1, 8, 32, 64)
+
+
+def footprint(model_name: str, minibatch: int) -> Row:
+    model = build_model(model_name)
+    graph = model.graph
+    weights = graph.total_param_bytes
+    running = graph.total_param_bytes * (1 + model.optimizer_slots)
+    # Saved-for-backward at pack-input granularity: under recomputation one
+    # checkpoint per layer is the upper bound the virtualized baseline pays.
+    stash = sum(
+        (layer.act_out_bytes_per_sample + layer.workspace_bytes_per_sample)
+        for layer in graph
+    ) * minibatch
+    inputs = model.sample_bytes * minibatch
+    total = weights + running + stash + inputs
+    server = server_for(4)
+    return {
+        "model": model_name,
+        "minibatch": minibatch,
+        "weights(GiB)": weights / GIB,
+        "running_state(GiB)": running / GIB,
+        "activations(GiB)": stash / GIB,
+        "inputs(GiB)": inputs / GIB,
+        "total(GiB)": total / GIB,
+        "x_single_gpu": total / server.gpu.memory_bytes,
+        "x_all_gpus": total / server.collective_gpu_memory,
+    }
+
+
+def run(fast: bool = False, models: tuple[str, ...] = TRANSFORMERS + CNNS) -> list[Row]:
+    batches = BATCHES[:2] if fast else BATCHES
+    return [footprint(m, b) for m in models for b in batches]
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Figure 9 (and the companion Figure 20): throughput versus the per-GPU
+swap baselines.
+
+For each model and minibatch size, run every scheme and report samples/s;
+``normalized(rows)`` converts to Figure 20's view (iteration time relative
+to Harmony PP -- higher is worse).
+
+Expected shape (paper takeaways): DP Swap consistently worst; GP Swap
+below 2BW Swap; the (R) recompute variants well above their no-recompute
+counterparts; Harmony DP above every baseline; Harmony PP fastest or
+statistically tied with Harmony DP; Harmony's lead widening with
+minibatch size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import GIB, Row, SCHEMES, render, run_scheme
+
+MODELS = ("bert96", "gpt2", "vgg416", "resnet1k")
+BATCHES = (16, 32, 64)
+
+
+def run(fast: bool = False, models: tuple[str, ...] = MODELS,
+        batches: tuple[int, ...] = BATCHES) -> list[Row]:
+    if fast:
+        models = models[:2]
+        batches = batches[-1:]
+    rows: list[Row] = []
+    for model in models:
+        for minibatch in batches:
+            for scheme in SCHEMES:
+                metrics = run_scheme(scheme, model, minibatch)
+                rows.append({
+                    "model": model,
+                    "minibatch": minibatch,
+                    "scheme": scheme,
+                    "throughput(samples/s)": metrics.throughput,
+                    "iteration(s)": metrics.iteration_time,
+                    "global_swap(GiB)": metrics.global_swap_bytes / GIB,
+                })
+    return rows
+
+
+def normalized(rows: list[Row]) -> list[Row]:
+    """Figure 20: iteration time normalized to Harmony PP (higher=worse)."""
+    reference: dict[tuple[str, int], float] = {}
+    for row in rows:
+        if row["scheme"] == "harmony-pp":
+            reference[(row["model"], row["minibatch"])] = row["iteration(s)"]
+    out = []
+    for row in rows:
+        base = reference[(row["model"], row["minibatch"])]
+        out.append({
+            "model": row["model"],
+            "minibatch": row["minibatch"],
+            "scheme": row["scheme"],
+            "normalized_iteration": row["iteration(s)"] / base,
+        })
+    return out
+
+
+def speedups(rows: list[Row]) -> list[Row]:
+    """Max Harmony speedup over DP Swap per model (the headline numbers)."""
+    best: dict[str, Row] = {}
+    by_cell: dict[tuple[str, int], dict[str, float]] = {}
+    for row in rows:
+        by_cell.setdefault((row["model"], row["minibatch"]), {})[
+            row["scheme"]
+        ] = row["iteration(s)"]
+    for (model, minibatch), cell in by_cell.items():
+        for mode in ("harmony-dp", "harmony-pp"):
+            speedup = cell["dp-swap"] / cell[mode]
+            key = f"{model}/{mode}"
+            if key not in best or speedup > best[key]["speedup_vs_dp_swap"]:
+                best[key] = {
+                    "model": model,
+                    "mode": mode,
+                    "at_minibatch": minibatch,
+                    "speedup_vs_dp_swap": speedup,
+                }
+    return sorted(best.values(), key=lambda r: (r["model"], r["mode"]))
+
+
+def main() -> None:
+    rows = run()
+    print(render(rows))
+    print()
+    print(render(speedups(rows)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Figure 10: swap load comparison for GPT2 on 4 GPUs.
+
+(a) Per-GPU swap volume per minibatch for each approach at a fixed
+minibatch; (b) global swap volume across minibatch sizes -- baselines
+100-300x above the Harmony schemes; (c) aggregate per-GPU view.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import GIB, Row, SCHEMES, render, run_scheme
+
+MODEL = "gpt2"
+FIXED_BATCH = 32
+BATCHES = (16, 32, 64)
+
+
+def run(fast: bool = False) -> list[Row]:
+    rows: list[Row] = []
+    # Panel (a): per-GPU at a fixed minibatch.
+    for scheme in SCHEMES:
+        metrics = run_scheme(scheme, MODEL, FIXED_BATCH)
+        for gpu, g in enumerate(metrics.gpus):
+            rows.append({
+                "panel": "a:per-gpu",
+                "scheme": scheme,
+                "minibatch": FIXED_BATCH,
+                "gpu": gpu,
+                "swap(GiB)": g.swap_bytes / GIB,
+            })
+    # Panel (b): global volume vs minibatch size.
+    batches = BATCHES[-1:] if fast else BATCHES
+    for minibatch in batches:
+        for scheme in SCHEMES:
+            metrics = run_scheme(scheme, MODEL, minibatch)
+            rows.append({
+                "panel": "b:global",
+                "scheme": scheme,
+                "minibatch": minibatch,
+                "gpu": -1,
+                "swap(GiB)": metrics.global_swap_bytes / GIB,
+            })
+    return rows
+
+
+def swap_ratio(rows: list[Row], minibatch: int = 64) -> float:
+    """DP Swap : Harmony PP global swap ratio at one minibatch size."""
+    cell = {
+        row["scheme"]: row["swap(GiB)"]
+        for row in rows
+        if row["panel"] == "b:global" and row["minibatch"] == minibatch
+    }
+    return cell["dp-swap"] / cell["harmony-pp"]
+
+
+def main() -> None:
+    rows = run()
+    print(render(rows))
+    print(f"swap ratio dp-swap / harmony-pp @64: {swap_ratio(rows):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

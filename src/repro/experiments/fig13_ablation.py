@@ -1,0 +1,75 @@
+"""Figure 13: efficiency breakdown of Harmony's optimizations.
+
+Turn each optimization off in isolation (keeping the rest on) for both
+Harmony DP and PP training GPT2 on 4 GPUs; report the slowdown relative
+to all-optimizations-on.  "Config search off" substitutes the paper's
+expert-picked configuration: a uniform layer split with one microbatch
+size shared between the passes.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Configuration, even_packs
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import Row, render, server_for
+
+MODEL = "gpt2"
+MINIBATCH = 64
+ABLATIONS = ("grouping", "jit", "p2p", "prefetch", "offload_optimizer")
+
+
+def _expert_config(harmony: Harmony) -> Configuration:
+    """A plausible hand-picked configuration: equal-count packs sized to
+    the GPU count, one microbatch size for both passes."""
+    n_layers = len(harmony.plan().profiles)
+    n_gpus = harmony.server.n_gpus
+    packs = even_packs(n_layers, 2 * n_gpus)
+    return Configuration(u_f=4, packs_f=packs, u_b=4, packs_b=packs)
+
+
+def run(fast: bool = False) -> list[Row]:
+    rows: list[Row] = []
+    modes = ("pp",) if fast else ("dp", "pp")
+    for mode in modes:
+        base = Harmony(MODEL, server_for(4), MINIBATCH,
+                       options=HarmonyOptions(mode=mode))
+        base_config = base.plan().config
+        base_time = base.run().metrics.iteration_time
+        rows.append({
+            "mode": f"harmony-{mode}",
+            "ablation": "(all on)",
+            "iteration(s)": base_time,
+            "slowdown": 1.0,
+        })
+        for ablation in ABLATIONS:
+            # Keep the all-on configuration and toggle only the mechanism,
+            # isolating each optimization's contribution (re-searching
+            # would let the scheduler partially compensate).
+            options = HarmonyOptions(mode=mode).without(ablation)
+            harmony = Harmony(MODEL, server_for(4), MINIBATCH, options=options)
+            plan = harmony.plan(config=base_config)
+            time = harmony.run(plan=plan).metrics.iteration_time
+            rows.append({
+                "mode": f"harmony-{mode}",
+                "ablation": ablation,
+                "iteration(s)": time,
+                "slowdown": time / base_time,
+            })
+        # Configuration search replaced by an expert-picked config.
+        expert_plan = base.plan(config=_expert_config(base))
+        time = base.run(plan=expert_plan).metrics.iteration_time
+        rows.append({
+            "mode": f"harmony-{mode}",
+            "ablation": "config_search",
+            "iteration(s)": time,
+            "slowdown": time / base_time,
+        })
+    return rows
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

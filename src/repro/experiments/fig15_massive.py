@@ -1,0 +1,66 @@
+"""Figure 15: training 10-40 billion parameter models at the limit of
+single-server CPU memory (8 GPUs, 750 GB host).
+
+Harmony DP/PP train every size; the ZeRO-Infinity analog, whose host
+working set carries fp32 master/partition overheads, runs out of CPU
+memory at 40 B parameters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ZeroInfinityPlanner
+from repro.common.errors import HostOutOfMemoryError
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import GIB, Row, render, server_for
+
+SIZES = (10, 20, 30, 40)
+MINIBATCH = 32
+
+
+def run(fast: bool = False) -> list[Row]:
+    sizes = (10, 40) if fast else SIZES
+    server = server_for(8)
+    rows: list[Row] = []
+    for billions in sizes:
+        model = f"gpt2-{billions}b"
+        for mode in ("dp", "pp"):
+            harmony = Harmony(model, server, MINIBATCH,
+                              options=HarmonyOptions(mode=mode))
+            metrics = harmony.run().metrics
+            rows.append({
+                "model": model,
+                "scheme": f"harmony-{mode}",
+                "throughput(samples/s)": metrics.throughput,
+                "host_peak(GiB)": metrics.host_peak_bytes / GIB,
+                "status": "ok",
+            })
+        config = Harmony(model, server, MINIBATCH,
+                         options=HarmonyOptions(mode="dp")).plan().config
+        zero = ZeroInfinityPlanner(model, server, MINIBATCH,
+                                   u_f=config.u_f, u_b=config.u_b)
+        try:
+            metrics = zero.run()
+            rows.append({
+                "model": model,
+                "scheme": "zero-infinity",
+                "throughput(samples/s)": metrics.throughput,
+                "host_peak(GiB)": metrics.host_peak_bytes / GIB,
+                "status": "ok",
+            })
+        except HostOutOfMemoryError as exc:
+            rows.append({
+                "model": model,
+                "scheme": "zero-infinity",
+                "throughput(samples/s)": 0.0,
+                "host_peak(GiB)": float("nan"),
+                "status": f"OOM ({exc})"[:60],
+            })
+    return rows
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Figure 16: Harmony's scalability from 1 to 8 GPUs on massive models.
+
+Harmony PP scales super-linearly with GPU count (more collective memory
+means less swapping, plus p2p transfers); Harmony DP scales too but pays
+N-times-replicated weight swaps, and the DP-PP gap widens with model
+size.
+"""
+
+from __future__ import annotations
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import Row, render, scaling_server
+
+SIZES = (10, 20, 40)
+GPU_COUNTS = (1, 2, 4, 8)
+MINIBATCH = 16
+
+
+def run(fast: bool = False) -> list[Row]:
+    sizes = (10,) if fast else SIZES
+    counts = (1, 4, 8) if fast else GPU_COUNTS
+    rows: list[Row] = []
+    for billions in sizes:
+        model = f"gpt2-{billions}b"
+        reference: dict[str, float] = {}
+        for n in counts:
+            for mode in ("dp", "pp"):
+                if mode == "dp" and MINIBATCH % n:
+                    continue
+                harmony = Harmony(model, scaling_server(n), MINIBATCH,
+                                  options=HarmonyOptions(mode=mode))
+                metrics = harmony.run().metrics
+                reference.setdefault(mode, metrics.throughput)
+                rows.append({
+                    "model": model,
+                    "scheme": f"harmony-{mode}",
+                    "gpus": n,
+                    "throughput(samples/s)": metrics.throughput,
+                    "speedup_vs_1gpu": metrics.throughput / reference[mode],
+                })
+    return rows
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

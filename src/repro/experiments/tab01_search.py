@@ -1,0 +1,55 @@
+"""Tables 1 and 5: configuration-search results and scheduler timing.
+
+For each model (Harmony PP, 4 GPUs, minibatch 64) report the searched
+four-tuple, the pack counts, the end-to-end Scheduler wall time, and
+(Table 5) the detailed layer packs.
+"""
+
+from __future__ import annotations
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import Row, render, server_for
+
+MODELS = ("bert96", "gpt2", "vgg416", "resnet1k")
+MINIBATCH = 64
+
+
+def run(fast: bool = False, models: tuple[str, ...] = MODELS) -> list[Row]:
+    if fast:
+        models = ("bert96", "gpt2")
+    rows: list[Row] = []
+    for model in models:
+        harmony = Harmony(model, server_for(4), MINIBATCH,
+                          options=HarmonyOptions(mode="pp"))
+        plan = harmony.plan()
+        config = plan.config
+        rows.append({
+            "model": model,
+            "U_F": config.u_f,
+            "|P_F|": len(config.packs_f),
+            "U_B": config.u_b,
+            "|P_B|": len(config.packs_b),
+            "scheduler_time(s)": plan.search.elapsed_seconds,
+            "configs_explored": plan.search.n_feasible,
+        })
+    return rows
+
+
+def pack_details(models: tuple[str, ...] = MODELS) -> dict[str, str]:
+    """Table 5: the full pack lists per model."""
+    details = {}
+    for model in models:
+        harmony = Harmony(model, server_for(4), MINIBATCH,
+                          options=HarmonyOptions(mode="pp"))
+        details[model] = harmony.plan().config.pack_table()
+    return details
+
+
+def main() -> None:
+    print(render(run()))
+    for model, table in pack_details().items():
+        print(f"\n== {model} ==\n{table}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Layer-granularity model graphs.
+
+Harmony's Decomposer extracts a *layer-level* graph (not operator-level)
+from the user's model via module pre/post hooks, then sequentializes any
+branches by relaying tensors through identity nodes (Figure 6).  This
+package provides:
+
+- :class:`~repro.graph.layer.LayerSpec` -- one layer's analytic cost model
+  (parameters, FLOPs, activation sizes, per phase and microbatch size).
+- :class:`~repro.graph.graph.LayerGraph` -- the DAG plus validation.
+- :func:`~repro.graph.sequentialize.sequentialize` -- the identity-relay
+  pass that turns a branching graph into a chain.
+- :mod:`~repro.graph.tracer` -- a tiny module system with hooks, the
+  analog of tracing an imperative PyTorch script.
+"""
+
+from repro.graph.layer import LayerSpec, Phase
+from repro.graph.graph import LayerGraph
+from repro.graph.sequentialize import sequentialize
+
+__all__ = ["LayerSpec", "Phase", "LayerGraph", "sequentialize"]

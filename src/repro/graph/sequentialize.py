@@ -1,0 +1,68 @@
+"""Identity-relay sequentialization (Figure 6 of the paper).
+
+Fine-grained layer execution struggles with branches: a tensor produced by
+layer *i* and consumed by layer *j > i+1* is alive while the layers in
+between run, possibly on other GPUs.  Harmony prefers relaying such branch
+tensors hop-by-hop over p2p rather than bouncing them through host memory.
+The paper realizes the relay with explicit identity nodes; here the
+identity hop is fused into the skipped-over layers as a carried payload,
+which produces the same chain structure and the same p2p traffic without
+renumbering layers.
+
+After this pass each edge (i, i+1) carries the mainline tensor plus any
+in-flight branch tensors, reflected by inflating the act-in/act-out sizes
+of every layer inside the skipped-over region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import GraphError
+from repro.graph.graph import Edge, LayerGraph
+from repro.graph.layer import LayerSpec
+
+
+def sequentialize(graph: LayerGraph) -> LayerGraph:
+    """Return a chain graph equivalent to ``graph``.
+
+    Branch tensors (edges skipping over layers) are relayed: for every edge
+    ``(src, dst)`` with ``dst > src + 1``, the bytes of ``src``'s output are
+    added to the carried payload of every layer strictly between them.  The
+    result consumes only predecessor outputs, so it validates as a chain.
+
+    Graphs that are already chains are returned unchanged (same object).
+    """
+    if graph.is_chain():
+        return graph
+
+    n = len(graph)
+    if n == 0:
+        raise GraphError("cannot sequentialize an empty graph")
+
+    # extra bytes per sample that must be carried across the edge (i, i+1)
+    carried = [0] * n
+    for edge in graph.edges:
+        if edge.dst > edge.src + 1:
+            payload = graph[edge.src].act_out_bytes_per_sample
+            for i in range(edge.src + 1, edge.dst):
+                carried[i] += payload
+
+    new_layers: list[LayerSpec] = []
+    for layer in graph.layers:
+        extra_in = carried[layer.index - 1] if layer.index > 0 else 0
+        extra_out = carried[layer.index]
+        if extra_in or extra_out:
+            layer = replace(
+                layer,
+                act_in_bytes_per_sample=layer.act_in_bytes_per_sample + extra_in,
+                act_out_bytes_per_sample=layer.act_out_bytes_per_sample + extra_out,
+            )
+        new_layers.append(layer)
+
+    indexed = [layer.with_index(i) for i, layer in enumerate(new_layers)]
+    edges = [Edge(i, i + 1) for i in range(len(indexed) - 1)]
+    chain = LayerGraph(name=graph.name, layers=indexed, edges=edges)
+    if not chain.is_chain():
+        raise GraphError("sequentialization failed to produce a chain")
+    return chain

@@ -1,0 +1,215 @@
+"""A tiny module system with pre/post hooks -- the Decomposer's front end.
+
+The paper extracts layer graphs from imperative PyTorch scripts using
+module pre/post hooks (like PipeDream).  This module reproduces that
+mechanism for our substrate: users compose :class:`Module` objects and
+call them imperatively in ``forward``; running the model once under
+:func:`trace` records every leaf invocation plus the tensor data flow
+between them, yielding a :class:`~repro.graph.graph.LayerGraph`.
+
+Tensors during tracing are :class:`SymbolicTensor` -- just a byte size and
+a producer id -- so tracing a 40-billion-parameter model is instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import GraphError
+from repro.graph.graph import Edge, LayerGraph
+from repro.graph.layer import FP32_BYTES, LayerSpec
+
+
+@dataclass(frozen=True)
+class SymbolicTensor:
+    """Placeholder tensor: per-sample byte size plus who produced it."""
+
+    bytes_per_sample: int
+    producer: Optional[int] = None  # layer index; None == graph input
+
+
+class _Tracer:
+    """Accumulates layers and edges while the model's forward runs."""
+
+    def __init__(self) -> None:
+        self.layers: list[LayerSpec] = []
+        self.edges: set[tuple[int, int]] = set()
+
+    def record(
+        self,
+        build_spec: Callable[[int], LayerSpec],
+        inputs: tuple[SymbolicTensor, ...],
+    ) -> SymbolicTensor:
+        index = len(self.layers)
+        spec = build_spec(index)
+        self.layers.append(spec)
+        for tensor in inputs:
+            if tensor.producer is not None:
+                self.edges.add((tensor.producer, index))
+        return SymbolicTensor(
+            bytes_per_sample=spec.act_out_bytes_per_sample, producer=index
+        )
+
+
+_ACTIVE_TRACER: Optional[_Tracer] = None
+
+
+class Module:
+    """Base class: containers override ``forward`` and call submodules."""
+
+    def forward(self, *inputs: SymbolicTensor) -> SymbolicTensor:
+        raise NotImplementedError
+
+    def __call__(self, *inputs: SymbolicTensor) -> SymbolicTensor:
+        return self.forward(*inputs)
+
+
+class Leaf(Module):
+    """A leaf module records itself as one layer when invoked.
+
+    Subclasses implement :meth:`build_spec`, mapping the (already known)
+    input tensor sizes to a :class:`LayerSpec`.
+    """
+
+    def build_spec(self, index: int, inputs: tuple[SymbolicTensor, ...]) -> LayerSpec:
+        raise NotImplementedError
+
+    def forward(self, *inputs: SymbolicTensor) -> SymbolicTensor:
+        if _ACTIVE_TRACER is None:
+            raise GraphError(
+                "leaf modules can only run under trace(); wrap the call in "
+                "repro.graph.tracer.trace"
+            )
+        return _ACTIVE_TRACER.record(
+            lambda index: self.build_spec(index, inputs), inputs
+        )
+
+
+class Dense(Leaf):
+    """A dense layer: ``out = act(x @ W + b)`` on flattened features."""
+
+    def __init__(self, in_features: int, out_features: int, name: str = "dense"):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+
+    def build_spec(self, index: int, inputs: tuple[SymbolicTensor, ...]) -> LayerSpec:
+        (x,) = inputs
+        params = (self.in_features + 1) * self.out_features * FP32_BYTES
+        return LayerSpec(
+            index=index,
+            name=f"{self.name}{index}",
+            kind="dense",
+            param_bytes=params,
+            flops_fwd_per_sample=2.0 * self.in_features * self.out_features,
+            act_in_bytes_per_sample=x.bytes_per_sample,
+            act_out_bytes_per_sample=self.out_features * FP32_BYTES,
+        )
+
+
+class Conv2d(Leaf):
+    """Conv + BN + ReLU treated as one layer (the usual fusion)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        spatial: int,
+        kernel: int = 3,
+        stride: int = 1,
+        name: str = "conv",
+    ):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.spatial = spatial  # input H == W
+        self.kernel = kernel
+        self.stride = stride
+        self.name = name
+
+    @property
+    def out_spatial(self) -> int:
+        return max(1, self.spatial // self.stride)
+
+    def build_spec(self, index: int, inputs: tuple[SymbolicTensor, ...]) -> LayerSpec:
+        (x,) = inputs
+        out_hw = self.out_spatial * self.out_spatial
+        flops = 2.0 * self.kernel**2 * self.in_channels * self.out_channels * out_hw
+        params = (self.kernel**2 * self.in_channels + 2) * self.out_channels
+        return LayerSpec(
+            index=index,
+            name=f"{self.name}{index}",
+            kind="conv",
+            param_bytes=params * FP32_BYTES,
+            flops_fwd_per_sample=flops,
+            act_in_bytes_per_sample=x.bytes_per_sample,
+            act_out_bytes_per_sample=self.out_channels * out_hw * FP32_BYTES,
+            bwd_flops_ratio=2.0,
+        )
+
+
+class Add(Leaf):
+    """Residual addition of two branch tensors."""
+
+    def build_spec(self, index: int, inputs: tuple[SymbolicTensor, ...]) -> LayerSpec:
+        if len(inputs) != 2:
+            raise GraphError(f"Add expects 2 inputs, got {len(inputs)}")
+        out_bytes = max(t.bytes_per_sample for t in inputs)
+        return LayerSpec(
+            index=index,
+            name=f"add{index}",
+            kind="add",
+            param_bytes=0,
+            flops_fwd_per_sample=out_bytes / FP32_BYTES,
+            act_in_bytes_per_sample=sum(t.bytes_per_sample for t in inputs),
+            act_out_bytes_per_sample=out_bytes,
+            bwd_flops_ratio=1.0,
+        )
+
+
+class Pool2d(Leaf):
+    """Max/avg pooling halving the spatial extent."""
+
+    def __init__(self, channels: int, in_spatial: int, factor: int = 2):
+        self.channels = channels
+        self.in_spatial = in_spatial
+        self.factor = factor
+
+    @property
+    def out_spatial(self) -> int:
+        return max(1, self.in_spatial // self.factor)
+
+    def build_spec(self, index: int, inputs: tuple[SymbolicTensor, ...]) -> LayerSpec:
+        (x,) = inputs
+        out_bytes = self.channels * self.out_spatial**2 * FP32_BYTES
+        return LayerSpec(
+            index=index,
+            name=f"pool{index}",
+            kind="pool",
+            param_bytes=0,
+            flops_fwd_per_sample=x.bytes_per_sample / FP32_BYTES,
+            act_in_bytes_per_sample=x.bytes_per_sample,
+            act_out_bytes_per_sample=out_bytes,
+            bwd_flops_ratio=1.0,
+        )
+
+
+def trace(model: Module, input_bytes_per_sample: int, name: str) -> LayerGraph:
+    """Run ``model`` once on a symbolic input and return its layer graph.
+
+    The returned graph may branch (e.g. residual skips); pass it through
+    :func:`repro.graph.sequentialize.sequentialize` before scheduling.
+    """
+    global _ACTIVE_TRACER
+    if _ACTIVE_TRACER is not None:
+        raise GraphError("trace() is not reentrant")
+    tracer = _Tracer()
+    _ACTIVE_TRACER = tracer
+    try:
+        output = model(SymbolicTensor(bytes_per_sample=input_bytes_per_sample))
+    finally:
+        _ACTIVE_TRACER = None
+    if output.producer is None:
+        raise GraphError("model produced no layers")
+    edges = [Edge(src, dst) for src, dst in sorted(tracer.edges)]
+    return LayerGraph(name=name, layers=tracer.layers, edges=edges)

@@ -1,0 +1,113 @@
+"""Server presets and the instantiated simulated server.
+
+:class:`ServerSpec` is the static description users hand to Harmony's
+Scheduler (GPU count/type, host memory, topology); :class:`SimulatedServer`
+binds that spec to a simulator instance with live links, streams, and
+memory pools for the Runtime to execute against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import GTX_1080TI, GpuMemoryPool, GpuSpec
+from repro.hardware.host import (
+    COMMODITY_XEON_18C,
+    COMMODITY_XEON_36C,
+    HostMemoryPool,
+    HostSpec,
+)
+from repro.hardware.interconnect import PcieTree, TopologySpec
+from repro.sim.engine import Simulator
+from repro.sim.stream import StreamSet
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static machine description consumed by the Scheduler."""
+
+    n_gpus: int
+    gpu: GpuSpec = GTX_1080TI
+    host: HostSpec = COMMODITY_XEON_18C
+    topology: TopologySpec = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.topology is None:
+            object.__setattr__(
+                self, "topology", TopologySpec(n_gpus=self.n_gpus)
+            )
+        if self.topology.n_gpus != self.n_gpus:
+            raise ValueError(
+                f"topology describes {self.topology.n_gpus} GPUs, "
+                f"server has {self.n_gpus}"
+            )
+
+    @property
+    def collective_gpu_memory(self) -> int:
+        return self.n_gpus * self.gpu.memory_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_gpus}x {self.gpu.name} "
+            f"({self.gpu.memory_bytes // 2**30} GiB each), "
+            f"{self.host.cores}-core host with "
+            f"{self.host.memory_bytes // 2**30} GiB RAM"
+        )
+
+
+def four_gpu_commodity_server() -> ServerSpec:
+    """The paper's main testbed: 4x GTX-1080Ti, 18-core Xeon, 374 GB RAM."""
+    return ServerSpec(n_gpus=4, gpu=GTX_1080TI, host=COMMODITY_XEON_18C)
+
+
+def eight_gpu_commodity_server() -> ServerSpec:
+    """The scaling testbed of Section 5.7: 8 GPUs, 36 cores, 750 GB RAM."""
+    return ServerSpec(
+        n_gpus=8,
+        gpu=GTX_1080TI,
+        host=COMMODITY_XEON_36C,
+        topology=TopologySpec(n_gpus=8, gpus_per_switch=4),
+    )
+
+
+class SimulatedServer:
+    """Live server: links, per-GPU stream sets, and memory pools.
+
+    One instance per simulated run; the Runtime executes task graphs
+    against it and metrics are read back from streams/links afterwards.
+    """
+
+    def __init__(self, sim: Simulator, spec: ServerSpec):
+        self.sim = sim
+        self.spec = spec
+        self.tree = PcieTree(sim, spec.topology)
+        self.streams = [StreamSet(sim, f"gpu{g}") for g in range(spec.n_gpus)]
+        self.gpu_memory = [
+            GpuMemoryPool(capacity=spec.gpu.memory_bytes) for _ in range(spec.n_gpus)
+        ]
+        self.host_memory = HostMemoryPool(capacity=spec.host.memory_bytes)
+        # Shared pageable-staging engine (a host DRAM memcpy lane) that
+        # LMS-style on-demand swaps must traverse; pinned transfers skip it.
+        from repro.sim.links import Link
+
+        self.pageable_staging = Link(
+            sim, "host-staging", spec.host.pageable_copy_bandwidth
+        )
+
+    def compute_time(self, flops: float) -> float:
+        return self.spec.gpu.compute_time(flops)
+
+    def swap_in_time(self, gpu: int, nbytes: int) -> float:
+        """Uncontended host->GPU transfer time (for estimation)."""
+        path = self.tree.host_to_gpu(gpu)
+        return nbytes / self.tree.min_bandwidth(path)
+
+    def swap_out_time(self, gpu: int, nbytes: int) -> float:
+        path = self.tree.gpu_to_host(gpu)
+        return nbytes / self.tree.min_bandwidth(path)
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        path = self.tree.gpu_to_gpu(src, dst)
+        if not path:
+            return 0.0
+        return nbytes / self.tree.min_bandwidth(path)

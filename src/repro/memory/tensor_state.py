@@ -1,0 +1,95 @@
+"""Tensor lifetime state machine.
+
+Harmony's Runtime "maintains a state machine tracking the lifetime of all
+tensors used" (Section 3).  A tensor is *homed* on the host (model state
+lives in pinned CPU memory) and may additionally be materialized on one or
+more GPUs; moves between homes are what the schedule's channels transport.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+
+class TensorHome(enum.Enum):
+    """Where the authoritative copy of a tensor currently lives."""
+
+    HOST = "host"
+    DEVICE = "device"
+    NOWHERE = "nowhere"  # not yet produced this iteration
+
+
+@dataclass
+class TensorRecord:
+    """One tracked tensor: identity, size, and placement."""
+
+    key: str
+    nbytes: int
+    home: TensorHome = TensorHome.HOST
+    device_copies: set[int] = field(default_factory=set)
+    dirty_on: int | None = None  # GPU holding a newer version than host
+
+    def materialize(self, gpu: int) -> None:
+        self.device_copies.add(gpu)
+
+    def evict(self, gpu: int) -> None:
+        if gpu not in self.device_copies:
+            raise SimulationError(f"evicting {self.key} from GPU {gpu} "
+                                  "where it is not resident")
+        self.device_copies.discard(gpu)
+
+    def mark_dirty(self, gpu: int) -> None:
+        """GPU ``gpu`` modified the tensor; other copies become stale."""
+        if gpu not in self.device_copies:
+            raise SimulationError(f"{self.key} modified on GPU {gpu} without "
+                                  "a resident copy")
+        self.dirty_on = gpu
+        self.device_copies = {gpu}
+
+    def writeback(self) -> None:
+        """Host copy refreshed from the dirty GPU (swap-out completed)."""
+        self.dirty_on = None
+        self.home = TensorHome.HOST
+
+    def resident_on(self, gpu: int) -> bool:
+        return gpu in self.device_copies
+
+
+class TensorTable:
+    """All tensors of one training run, keyed by a stable string id.
+
+    Keys follow ``kind:layer[:microbatch]`` (e.g. ``"W:17"``,
+    ``"X:3:mb5"``), which makes logs and tests readable.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, TensorRecord] = {}
+
+    def declare(self, key: str, nbytes: int, home: TensorHome = TensorHome.HOST) -> TensorRecord:
+        if key in self._records:
+            raise SimulationError(f"tensor {key!r} declared twice")
+        record = TensorRecord(key=key, nbytes=nbytes, home=home)
+        self._records[key] = record
+        return record
+
+    def get(self, key: str) -> TensorRecord:
+        try:
+            return self._records[key]
+        except KeyError:
+            raise SimulationError(f"unknown tensor {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def resident_bytes(self, gpu: int) -> int:
+        return sum(
+            record.nbytes
+            for record in self._records.values()
+            if record.resident_on(gpu)
+        )

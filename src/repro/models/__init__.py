@@ -1,0 +1,16 @@
+"""Model zoo: the DNNs the paper evaluates, as analytic layer graphs.
+
+- Transformers: BERT-Large, BERT96, GPT2 (1.5B), GPT2-Medium (0.3B) and
+  customized GPT2 variants of 10-40 billion parameters (Section 5.7).
+- CNNs: VGG416 and ResNet1K, the per-GPU-virtualization benchmarks with
+  irregular per-layer profiles.
+
+All are built either directly as chains or via the module tracer plus
+branch sequentialization (ResNet), matching how Harmony's Decomposer
+handles real model scripts.
+"""
+
+from repro.models.spec import ModelSpec
+from repro.models.zoo import available_models, build_model
+
+__all__ = ["ModelSpec", "build_model", "available_models"]

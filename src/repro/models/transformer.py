@@ -1,0 +1,218 @@
+"""Transformer language models as analytic layer chains.
+
+Layer counts follow the paper's scheduling tables (Table 5): BERT96 spans
+L0-99, GPT2 spans L0-51.  Costs use the standard dense-transformer
+accounting: a block holds ``12 h^2 + 13 h`` parameters and runs
+``24 s h^2 + 4 s^2 h`` forward FLOPs per sample; the LM head's logits over
+the vocabulary dominate activation size at the tail, which is why the
+paper's searched GPT2 backward microbatch size is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import LayerGraph
+from repro.graph.layer import FP32_BYTES, LayerSpec
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape of a dense transformer LM/encoder."""
+
+    name: str
+    n_blocks: int
+    hidden: int
+    seq_len: int
+    vocab: int
+    n_heads: int
+    n_classes: int = 0  # >0: classification head (BERT); 0: LM head (GPT)
+
+    @property
+    def block_params(self) -> int:
+        return 12 * self.hidden**2 + 13 * self.hidden
+
+    @property
+    def approx_parameters(self) -> int:
+        head = self.vocab * self.hidden if self.n_classes == 0 else 0
+        return (
+            self.n_blocks * self.block_params
+            + self.vocab * self.hidden  # token embedding
+            + head
+        )
+
+
+def _embedding(cfg: TransformerConfig) -> LayerSpec:
+    act_out = cfg.seq_len * cfg.hidden * FP32_BYTES
+    return LayerSpec(
+        index=0,
+        name="embedding",
+        kind="embedding",
+        param_bytes=(cfg.vocab + cfg.seq_len) * cfg.hidden * FP32_BYTES,
+        flops_fwd_per_sample=2.0 * cfg.seq_len * cfg.hidden,
+        act_in_bytes_per_sample=cfg.seq_len * 8,  # int64 token ids
+        act_out_bytes_per_sample=act_out,
+        bwd_flops_ratio=1.0,
+    )
+
+
+def _block(cfg: TransformerConfig, index: int) -> LayerSpec:
+    h, s = cfg.hidden, cfg.seq_len
+    act = s * h * FP32_BYTES
+    matmul_flops = 24.0 * s * h * h
+    attn_flops = 4.0 * s * s * h
+    # The materialized attention-probability matrix dominates workspace on
+    # pre-flash-attention GPUs: s*s per head, fp32.
+    attn_workspace = cfg.n_heads * s * s * FP32_BYTES
+    return LayerSpec(
+        index=index,
+        name=f"block{index}",
+        kind="transformer",
+        param_bytes=cfg.block_params * FP32_BYTES,
+        flops_fwd_per_sample=matmul_flops + attn_flops,
+        act_in_bytes_per_sample=act,
+        act_out_bytes_per_sample=act,
+        bwd_flops_ratio=2.0,
+        workspace_bytes_per_sample=attn_workspace,
+    )
+
+
+def _final_norm(cfg: TransformerConfig, index: int) -> LayerSpec:
+    act = cfg.seq_len * cfg.hidden * FP32_BYTES
+    return LayerSpec(
+        index=index,
+        name="final_layernorm",
+        kind="layernorm",
+        param_bytes=2 * cfg.hidden * FP32_BYTES,
+        flops_fwd_per_sample=10.0 * cfg.seq_len * cfg.hidden,
+        act_in_bytes_per_sample=act,
+        act_out_bytes_per_sample=act,
+        bwd_flops_ratio=2.0,
+    )
+
+
+def _lm_head(cfg: TransformerConfig, index: int) -> LayerSpec:
+    act_in = cfg.seq_len * cfg.hidden * FP32_BYTES
+    logits = cfg.seq_len * cfg.vocab * FP32_BYTES
+    return LayerSpec(
+        index=index,
+        name="lm_head",
+        kind="head",
+        param_bytes=cfg.vocab * cfg.hidden * FP32_BYTES,
+        flops_fwd_per_sample=2.0 * cfg.seq_len * cfg.hidden * cfg.vocab,
+        act_in_bytes_per_sample=act_in,
+        act_out_bytes_per_sample=logits,
+        bwd_flops_ratio=2.0,
+    )
+
+
+def _cls_head(cfg: TransformerConfig, index: int) -> LayerSpec:
+    act_in = cfg.seq_len * cfg.hidden * FP32_BYTES
+    return LayerSpec(
+        index=index,
+        name="classifier",
+        kind="head",
+        param_bytes=(cfg.hidden + 1) * cfg.n_classes * FP32_BYTES,
+        flops_fwd_per_sample=2.0 * cfg.hidden * cfg.n_classes,
+        act_in_bytes_per_sample=act_in,
+        act_out_bytes_per_sample=cfg.n_classes * FP32_BYTES,
+        bwd_flops_ratio=2.0,
+    )
+
+
+def _loss(cfg: TransformerConfig, index: int, in_bytes: int) -> LayerSpec:
+    return LayerSpec(
+        index=index,
+        name="loss",
+        kind="loss",
+        param_bytes=0,
+        flops_fwd_per_sample=5.0 * in_bytes / FP32_BYTES,
+        act_in_bytes_per_sample=in_bytes,
+        act_out_bytes_per_sample=FP32_BYTES,
+        bwd_flops_ratio=1.0,
+    )
+
+
+def build_transformer(cfg: TransformerConfig) -> ModelSpec:
+    """Assemble the chain: embedding, blocks, final norm, head, loss."""
+    layers = [_embedding(cfg)]
+    for i in range(cfg.n_blocks):
+        layers.append(_block(cfg, len(layers)))
+    layers.append(_final_norm(cfg, len(layers)))
+    if cfg.n_classes > 0:
+        head = _cls_head(cfg, len(layers))
+        layers.append(head)
+        layers.append(_loss(cfg, len(layers), head.act_out_bytes_per_sample))
+    else:
+        head = _lm_head(cfg, len(layers))
+        layers.append(head)
+        layers.append(_loss(cfg, len(layers), head.act_out_bytes_per_sample))
+    graph = LayerGraph.chain(cfg.name, layers)
+    return ModelSpec(
+        name=cfg.name,
+        graph=graph,
+        optimizer="adam",
+        sample_bytes=cfg.seq_len * 8,
+        description=(
+            f"{cfg.n_blocks}-block transformer, hidden {cfg.hidden}, "
+            f"seq {cfg.seq_len}, ~{cfg.approx_parameters / 1e9:.2f}B params"
+        ),
+    )
+
+
+# -- the paper's transformer configurations ---------------------------------
+
+BERT_LARGE = TransformerConfig(
+    name="bert-large", n_blocks=24, hidden=1024, seq_len=512, vocab=30522,
+    n_heads=16, n_classes=2,
+)
+
+# 96-block BERT from PipeDream-2BW; with embedding/norm/head/loss the chain
+# spans L0-99 as in Table 5.
+BERT96 = TransformerConfig(
+    name="bert96", n_blocks=96, hidden=1024, seq_len=512, vocab=30522,
+    n_heads=16, n_classes=2,
+)
+
+# GPT2 1.5B: 48 blocks of hidden 1600; chain spans L0-51 as in Table 5.
+GPT2 = TransformerConfig(
+    name="gpt2", n_blocks=48, hidden=1600, seq_len=1024, vocab=50257, n_heads=25,
+)
+
+GPT2_MEDIUM = TransformerConfig(
+    name="gpt2-medium", n_blocks=24, hidden=1024, seq_len=1024, vocab=50257,
+    n_heads=16,
+)
+
+
+def custom_gpt2(billions: int) -> TransformerConfig:
+    """Customized GPT2 variants of 10-40 B parameters (Section 5.7).
+
+    Width is fixed at 5120 and depth scales with the target size, the same
+    recipe ZeRO-Infinity uses for its large-model sweeps.
+    """
+    if billions not in (10, 20, 30, 40):
+        raise ValueError(f"custom GPT2 sizes are 10/20/30/40 B, got {billions}")
+    blocks_per_10b = 32  # 32 * 12 * 5120^2 ~= 10.1e9
+    return TransformerConfig(
+        name=f"gpt2-{billions}b",
+        n_blocks=blocks_per_10b * (billions // 10),
+        hidden=5120,
+        seq_len=1024,
+        vocab=50257,
+        n_heads=40,
+    )
+
+
+def tiny_transformer(n_blocks: int = 6, hidden: int = 64, seq_len: int = 16) -> ModelSpec:
+    """A toy model for unit tests and the Figure 4 walkthrough."""
+    cfg = TransformerConfig(
+        name=f"toy-transformer-{n_blocks}",
+        n_blocks=n_blocks,
+        hidden=hidden,
+        seq_len=seq_len,
+        vocab=1000,
+        n_heads=4,
+    )
+    return build_transformer(cfg)

@@ -1,0 +1,59 @@
+"""Model registry.
+
+``build_model("gpt2")`` returns the :class:`~repro.models.spec.ModelSpec`
+for any model the paper evaluates; tests and experiments go through this
+single entry point.  Builders are lazy (deep CNNs take a moment to trace)
+and results are memoized.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.models.cnn import build_resnet1k, build_vgg416, tiny_cnn
+from repro.models.spec import ModelSpec
+from repro.models.transformer import (
+    BERT96,
+    BERT_LARGE,
+    GPT2,
+    GPT2_MEDIUM,
+    build_transformer,
+    custom_gpt2,
+    tiny_transformer,
+)
+
+_BUILDERS: dict[str, Callable[[], ModelSpec]] = {
+    "bert-large": lambda: build_transformer(BERT_LARGE),
+    "bert96": lambda: build_transformer(BERT96),
+    "gpt2": lambda: build_transformer(GPT2),
+    "gpt2-medium": lambda: build_transformer(GPT2_MEDIUM),
+    "gpt2-10b": lambda: build_transformer(custom_gpt2(10)),
+    "gpt2-20b": lambda: build_transformer(custom_gpt2(20)),
+    "gpt2-30b": lambda: build_transformer(custom_gpt2(30)),
+    "gpt2-40b": lambda: build_transformer(custom_gpt2(40)),
+    "vgg416": build_vgg416,
+    "resnet1k": build_resnet1k,
+    "toy-transformer": lambda: tiny_transformer(),
+    "tiny-cnn": lambda: tiny_cnn(),
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def build_model(name: str) -> ModelSpec:
+    """Build (and memoize) the named model's spec.
+
+    Raises ``KeyError`` with the list of known names on a typo.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    return builder()

@@ -1,0 +1,33 @@
+"""A small float64 neural-network engine for correctness validation.
+
+The paper validates that Harmony's schedules preserve synchronous-SGD
+semantics by comparing per-minibatch training loss against a no-swap
+baseline (Figures 12 and 19, Table 3).  This package provides the
+numerics to run that experiment end to end:
+
+- :mod:`~repro.numeric.layers` -- layers with explicit forward/backward,
+- :mod:`~repro.numeric.model` -- sequential models ("BERT-tiny" classifier
+  and "GPT-tiny" language model),
+- :mod:`~repro.numeric.optim` -- deterministic SGD and Adam,
+- :mod:`~repro.numeric.data` -- synthetic MRPC-like and WikiText-like
+  datasets (fixed seeds),
+- :mod:`~repro.numeric.trainer` -- the single-device reference loop,
+- :mod:`~repro.numeric.harmony_exec` -- the same model trained through a
+  Harmony-style schedule: microbatching, pack-granularity checkpointing
+  and rematerialization, grouped execution, DP sharding.
+
+Everything runs in float64 with deterministic accumulation order, so
+Harmony-vs-baseline losses agree to ~1e-12 relative (the paper's fp32
+"exact match" is plot-resolution equality).
+"""
+
+from repro.numeric.model import make_classifier, make_lm
+from repro.numeric.trainer import ReferenceTrainer
+from repro.numeric.harmony_exec import HarmonyNumericTrainer
+
+__all__ = [
+    "make_classifier",
+    "make_lm",
+    "ReferenceTrainer",
+    "HarmonyNumericTrainer",
+]

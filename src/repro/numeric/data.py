@@ -1,0 +1,60 @@
+"""Deterministic synthetic datasets.
+
+The convergence-equality experiments need a fixed data stream, not a
+particular corpus, so we substitute GLUE/MRPC and WikiText with seeded
+synthetic tasks of the same type: a learnable binary sentence-pair-style
+classification, and a learnable next-token-style multiclass prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features, integer targets, and an eval split."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_eval: np.ndarray
+    y_eval: np.ndarray
+    n_classes: int
+
+    def minibatches(self, batch_size: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Deterministic pass over the training set in fixed order."""
+        for start in range(0, len(self.x_train) - batch_size + 1, batch_size):
+            stop = start + batch_size
+            yield self.x_train[start:stop], self.y_train[start:stop]
+
+
+def _make(n_train: int, n_eval: int, features: int, n_classes: int,
+          noise: float, seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    total = n_train + n_eval
+    x = rng.normal(size=(total, features))
+    planes = rng.normal(size=(features, n_classes))
+    scores = x @ planes + noise * rng.normal(size=(total, n_classes))
+    y = scores.argmax(axis=-1)
+    return Dataset(
+        x_train=x[:n_train],
+        y_train=y[:n_train],
+        x_eval=x[n_train:],
+        y_eval=y[n_train:],
+        n_classes=n_classes,
+    )
+
+
+def synthetic_mrpc(n_train: int = 512, n_eval: int = 256, features: int = 32,
+                   seed: int = 7) -> Dataset:
+    """Binary classification standing in for MRPC paraphrase detection."""
+    return _make(n_train, n_eval, features, n_classes=2, noise=0.3, seed=seed)
+
+
+def synthetic_wikitext(n_train: int = 512, n_eval: int = 256, features: int = 32,
+                       vocab: int = 50, seed: int = 11) -> Dataset:
+    """Next-token-style multiclass prediction standing in for WikiText."""
+    return _make(n_train, n_eval, features, n_classes=vocab, noise=0.5, seed=seed)

@@ -1,0 +1,142 @@
+"""Training through a Harmony-style schedule, numerically.
+
+Executes exactly what the system's task graph prescribes, against the real
+numbers:
+
+- the minibatch is decomposed into forward microbatches of ``U_F``; the
+  forward pass runs pack by pack, *checkpointing only the input of each
+  backward pack* (everything else is discarded, as under rematerialization);
+- the backward pass runs in microbatches of ``U_B``, pack by pack in
+  reverse: rematerialize the pack's stash from its checkpoint, then walk
+  the layers backwards, accumulating gradients;
+- Harmony DP shards the minibatch across N virtual workers first, each
+  worker microbatching its shard; gradients sum across workers in a fixed
+  order (the CPU-side reduction);
+- one optimizer step per iteration (synchronous SGD semantics).
+
+Comparing this loop's per-minibatch losses against the reference trainer
+is the Figure 12/19 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import microbatch_group
+from repro.numeric.data import Dataset
+from repro.numeric.model import SequentialModel
+from repro.numeric.optim import Optimizer
+from repro.numeric.trainer import TrainCurve
+
+
+def default_packs(n_layers: int, n_packs: int) -> list[tuple[int, int]]:
+    """Near-even contiguous packs over ``n_layers`` (incl. the loss head)."""
+    base, extra = divmod(n_layers, n_packs)
+    packs = []
+    first = 0
+    for i in range(n_packs):
+        size = base + (1 if i < extra else 0)
+        packs.append((first, first + size - 1))
+        first += size
+    return packs
+
+
+class HarmonyNumericTrainer:
+    """Runs synchronous-SGD iterations through the Harmony schedule."""
+
+    def __init__(
+        self,
+        model: SequentialModel,
+        optimizer: Optimizer,
+        u_f: int,
+        u_b: int,
+        packs_b: Optional[Sequence[tuple[int, int]]] = None,
+        n_workers: int = 1,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.u_f = u_f
+        self.u_b = u_b
+        self.packs_b = list(packs_b) if packs_b else default_packs(model.n_layers, 3)
+        if self.packs_b[0][0] != 0 or self.packs_b[-1][1] != model.n_layers - 1:
+            raise ValueError("backward packs must tile all layers")
+        self.n_workers = n_workers
+
+    # -- one worker's share -------------------------------------------------------
+
+    def _forward_share(self, x: np.ndarray, y: np.ndarray, total: int) -> tuple[float, dict[int, np.ndarray]]:
+        """Forward a worker's shard in U_F microbatches, keeping only the
+        backward-pack input checkpoints.  Returns (partial loss, ckpts)."""
+        checkpoints: dict[int, list[np.ndarray]] = {p[0]: [] for p in self.packs_b}
+        loss = 0.0
+        offset = 0
+        for size in microbatch_group(len(x), self.u_f):
+            xm = x[offset:offset + size]
+            ym = y[offset:offset + size]
+            self.model.head.set_targets(ym, total_weight=total)
+            h = xm
+            for first, last in self.packs_b:
+                if first in checkpoints:
+                    checkpoints[first].append(h)
+                h, _ = self.model.forward_segment(first, last, h)
+            loss += float(h[0])
+            offset += size
+        return loss, {
+            boundary: np.concatenate(chunks)
+            for boundary, chunks in checkpoints.items()
+        }
+
+    def _backward_share(self, x: np.ndarray, y: np.ndarray, total: int,
+                        checkpoints: dict[int, np.ndarray]) -> None:
+        """Backward the shard in U_B microbatches, rematerializing each
+        pack's stash from its checkpoint."""
+        group = microbatch_group(len(x), self.u_b)
+        offsets = np.cumsum([0] + list(group))
+        # dy flowing between packs, per microbatch (None until the loss
+        # pack produces it).
+        dys: list[Optional[np.ndarray]] = [None] * len(group)
+        for first, last in reversed(self.packs_b):
+            ckpt = checkpoints[first]
+            for i, size in enumerate(group):
+                lo, hi = offsets[i], offsets[i] + size
+                self.model.head.set_targets(y[lo:hi], total_weight=total)
+                # Rematerialize (jit-compute makes this the first forward
+                # for the last pack at the system level; numerically the
+                # recomputation is identical).
+                _, stashes = self.model.forward_segment(first, last, ckpt[lo:hi])
+                dy = dys[i]
+                if dy is None:
+                    dy = np.array([1.0])  # d(loss)/d(loss)
+                dys[i] = self.model.backward_segment(first, last, dy, stashes)
+
+    # -- public API ------------------------------------------------------------------
+
+    def train_iteration(self, x: np.ndarray, y: np.ndarray) -> float:
+        if len(x) % self.n_workers:
+            raise ValueError("minibatch must divide across workers")
+        self.model.zero_grad()
+        total = len(x)
+        share = total // self.n_workers
+        loss = 0.0
+        shares = []
+        for w in range(self.n_workers):
+            xs = x[w * share:(w + 1) * share]
+            ys = y[w * share:(w + 1) * share]
+            partial, ckpts = self._forward_share(xs, ys, total)
+            loss += partial
+            shares.append((xs, ys, ckpts))
+        for xs, ys, ckpts in shares:
+            self._backward_share(xs, ys, total, ckpts)
+        self.optimizer.step(self.model.parameters(), self.model.gradients())
+        return loss
+
+    def train(self, dataset: Dataset, batch_size: int, epochs: int = 1) -> TrainCurve:
+        curve = TrainCurve()
+        for _ in range(epochs):
+            for x, y in dataset.minibatches(batch_size):
+                curve.losses.append(self.train_iteration(x, y))
+        predictions = self.model.predict(dataset.x_eval)
+        curve.eval_accuracy = float((predictions == dataset.y_eval).mean())
+        return curve

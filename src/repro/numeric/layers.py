@@ -1,0 +1,189 @@
+"""Layers with explicit forward/backward passes.
+
+Explicit backward (rather than a taped autograd) mirrors how the system
+executes: a backward task re-runs the pack's forward from a checkpoint to
+rematerialize the stash, then walks the layers in reverse.  Each layer
+owns its parameters and gradient buffers; gradients *accumulate* so
+microbatched execution sums partial gradients exactly like gradient
+accumulation does.
+
+All math is float64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Layer:
+    """Base: stateless unless it has parameters."""
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def zero_grad(self) -> None:
+        for grad in self.gradients().values():
+            grad.fill(0.0)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """Returns (output, stash) -- stash is whatever backward needs."""
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        """Returns dx; accumulates parameter gradients."""
+        raise NotImplementedError
+
+
+class Linear(Layer):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(in_features)
+        self.w = rng.uniform(-scale, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {"w": self.w, "b": self.b}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return {"w": self.dw, "b": self.db}
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        return x @ self.w + self.b, x
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        x = stash
+        self.dw += x.T @ dy
+        self.db += dy.sum(axis=0)
+        return dy @ self.w.T
+
+
+class Gelu(Layer):
+    """tanh-approximation GELU."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        inner = self._C * (x + 0.044715 * x**3)
+        y = 0.5 * x * (1.0 + np.tanh(inner))
+        return y, x
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        x = stash
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh = np.tanh(inner)
+        sech2 = 1.0 - tanh**2
+        dinner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        return dy * (0.5 * (1.0 + tanh) + 0.5 * x * sech2 * dinner)
+
+
+class LayerNorm(Layer):
+    """Normalization over the feature dimension with learned gain/bias."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        self.gamma = np.ones(features)
+        self.beta = np.zeros(features)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.eps = eps
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.dgamma, "beta": self.dbeta}
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean) * inv
+        return xhat * self.gamma + self.beta, (xhat, inv)
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        xhat, inv = stash
+        self.dgamma += (dy * xhat).sum(axis=0)
+        self.dbeta += dy.sum(axis=0)
+        dxhat = dy * self.gamma
+        n = xhat.shape[-1]
+        return inv * (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+        )
+
+
+class Residual(Layer):
+    """Wraps a sub-chain ``f``: ``y = x + f(x)``."""
+
+    def __init__(self, inner: list[Layer]):
+        self.inner = inner
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {}
+        for i, layer in enumerate(self.inner):
+            for key, value in layer.parameters().items():
+                params[f"{i}.{key}"] = value
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        grads = {}
+        for i, layer in enumerate(self.inner):
+            for key, value in layer.gradients().items():
+                grads[f"{i}.{key}"] = value
+        return grads
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        stashes = []
+        h = x
+        for layer in self.inner:
+            h, stash = layer.forward(h)
+            stashes.append(stash)
+        return x + h, stashes
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        dh = dy
+        for layer, s in zip(reversed(self.inner), reversed(stash)):
+            dh = layer.backward(dh, s)
+        return dy + dh
+
+
+class CrossEntropyHead(Layer):
+    """Softmax + mean cross-entropy against integer targets.
+
+    ``forward`` needs the targets first (:meth:`set_targets`); output is a
+    1-element loss array so it chains like any other layer.  The total
+    weight used for the mean is set by the executor so microbatched runs
+    scale partial losses/gradients by the *full* batch size.
+    """
+
+    def __init__(self):
+        self.targets: Optional[np.ndarray] = None
+        self.total_weight: Optional[int] = None
+
+    def set_targets(self, targets: np.ndarray, total_weight: int) -> None:
+        self.targets = targets
+        self.total_weight = total_weight
+
+    def forward(self, logits: np.ndarray) -> tuple[np.ndarray, object]:
+        if self.targets is None or self.total_weight is None:
+            raise RuntimeError("set_targets() must be called before forward")
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        logprobs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        picked = logprobs[np.arange(len(self.targets)), self.targets]
+        loss = -picked.sum() / self.total_weight
+        probs = np.exp(logprobs)
+        return np.array([loss]), (probs, self.targets, self.total_weight)
+
+    def backward(self, dy: np.ndarray, stash: object) -> np.ndarray:
+        probs, targets, total = stash
+        grad = probs.copy()
+        grad[np.arange(len(targets)), targets] -= 1.0
+        return dy[0] * grad / total

@@ -1,0 +1,138 @@
+"""Sequential numeric models: "BERT-tiny" and "GPT-tiny".
+
+Both are chains of residual MLP blocks with layer normalization -- the
+structural skeleton of a transformer without attention, which is all the
+correctness experiment needs: what matters is that the chain is deep
+enough to pack, checkpoint, and rematerialize exactly like the real
+models, and that training actually converges on the synthetic tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.layers import (
+    CrossEntropyHead,
+    Gelu,
+    Layer,
+    LayerNorm,
+    Linear,
+    Residual,
+)
+
+
+class SequentialModel:
+    """An ordered chain of layers ending in a loss head."""
+
+    def __init__(self, layers: list[Layer], head: CrossEntropyHead):
+        self.layers = layers
+        self.head = head
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers) + 1  # + loss head
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {}
+        for i, layer in enumerate(self.layers):
+            for key, value in layer.parameters().items():
+                params[f"L{i}.{key}"] = value
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        grads = {}
+        for i, layer in enumerate(self.layers):
+            for key, value in layer.gradients().items():
+                grads[f"L{i}.{key}"] = value
+        return grads
+
+    # -- whole-model passes (the no-swap reference path) ----------------------
+
+    def forward(self, x: np.ndarray, targets: np.ndarray) -> tuple[float, list]:
+        self.head.set_targets(targets, total_weight=len(targets))
+        stashes = []
+        h = x
+        for layer in self.layers:
+            h, stash = layer.forward(h)
+            stashes.append(stash)
+        loss, head_stash = self.head.forward(h)
+        stashes.append(head_stash)
+        return float(loss[0]), stashes
+
+    def backward(self, stashes: list) -> None:
+        dy = self.head.backward(np.array([1.0]), stashes[-1])
+        for layer, stash in zip(reversed(self.layers), reversed(stashes[:-1])):
+            dy = layer.backward(dy, stash)
+
+    # -- segment passes (what Harmony tasks execute) -----------------------------
+
+    def forward_segment(self, first: int, last: int, x: np.ndarray) -> tuple[np.ndarray, list]:
+        """Forward layers ``first..last`` (inclusive; the head is layer
+        ``len(layers)``), returning (output, stashes)."""
+        stashes = []
+        h = x
+        for index in range(first, last + 1):
+            layer = self.head if index == len(self.layers) else self.layers[index]
+            h, stash = layer.forward(h)
+            stashes.append(stash)
+        return h, stashes
+
+    def backward_segment(self, first: int, last: int, dy: np.ndarray,
+                         stashes: list) -> np.ndarray:
+        for offset, index in enumerate(reversed(range(first, last + 1))):
+            layer = self.head if index == len(self.layers) else self.layers[index]
+            dy = layer.backward(dy, stashes[len(stashes) - 1 - offset])
+        return dy
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        h = x
+        for layer in self.layers:
+            h, _ = layer.forward(h)
+        return h.argmax(axis=-1)
+
+
+def _block(features: int, hidden: int, rng: np.random.Generator) -> list[Layer]:
+    return [
+        LayerNorm(features),
+        Residual([Linear(features, hidden, rng), Gelu(), Linear(hidden, features, rng)]),
+    ]
+
+
+def make_classifier(
+    n_blocks: int = 4,
+    features: int = 32,
+    hidden: int = 64,
+    n_classes: int = 2,
+    seed: int = 0,
+) -> SequentialModel:
+    """"BERT-tiny": MLP-residual chain ending in a binary classifier,
+    standing in for BERT-Large fine-tuning on MRPC."""
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = [Linear(features, features, rng)]
+    for _ in range(n_blocks):
+        layers.extend(_block(features, hidden, rng))
+    layers.append(LayerNorm(features))
+    layers.append(Linear(features, n_classes, rng))
+    return SequentialModel(layers, CrossEntropyHead())
+
+
+def make_lm(
+    n_blocks: int = 4,
+    features: int = 32,
+    hidden: int = 64,
+    vocab: int = 50,
+    seed: int = 1,
+) -> SequentialModel:
+    """"GPT-tiny": the same skeleton with a vocabulary-sized head,
+    standing in for GPT2-Medium fine-tuning on WikiText."""
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = [Linear(features, features, rng)]
+    for _ in range(n_blocks):
+        layers.extend(_block(features, hidden, rng))
+    layers.append(LayerNorm(features))
+    layers.append(Linear(features, vocab, rng))
+    return SequentialModel(layers, CrossEntropyHead())

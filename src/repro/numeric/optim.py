@@ -1,0 +1,65 @@
+"""Deterministic optimizers (float64 SGD with momentum, and Adam).
+
+State is keyed by parameter name, so the same optimizer instance can be
+driven by either the reference trainer or the Harmony executor and their
+updates stay bit-comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, lr: float):
+        self.lr = lr
+        self.step_count = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class Sgd(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.9):
+        super().__init__(lr)
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self.step_count += 1
+        for name in sorted(params):
+            grad = grads[name]
+            vel = self._velocity.setdefault(name, np.zeros_like(grad))
+            vel *= self.momentum
+            vel += grad
+            params[name] -= self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self.step_count += 1
+        t = self.step_count
+        for name in sorted(params):
+            grad = grads[name]
+            m = self._m.setdefault(name, np.zeros_like(grad))
+            v = self._v.setdefault(name, np.zeros_like(grad))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            mhat = m / (1 - self.beta1**t)
+            vhat = v / (1 - self.beta2**t)
+            params[name] -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

@@ -1,0 +1,410 @@
+"""The Runtime executor: runs a task graph on the simulated server.
+
+Execution model (Section 4.4 of the paper):
+
+- one runtime process per GPU, each owning five streams (compute, swap-in,
+  swap-out, p2p-in, p2p-out) plus a host-side lane for CPU-offloaded
+  weight updates;
+- prefetch with double buffering: a task's inputs are fetched while the
+  previous task computes, throttled by fetch "slots" (two with prefetch
+  enabled, one without);
+- per-microbatch pipelining: a task's microbatch *i* computes as soon as
+  its input chunk *i* has arrived, which is what makes the wrap-around
+  pipeline actually pipeline;
+- receiver-driven p2p: the consuming GPU pulls activation chunks over the
+  PCIe tree, contending on shared links with everyone else's swaps.
+
+State tensors (weights, gradients, optimizer state) move once per task;
+activation-family tensors (X/Y/DY/CKPT) move per microbatch.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.common.errors import HostOutOfMemoryError, SchedulingError
+from repro.core.taskgraph import mb_dependency
+from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
+from repro.hardware.server import SimulatedServer
+from repro.runtime.metrics import GpuMetrics, RunMetrics
+from repro.runtime.timemodel import TrueTimeModel
+from repro.sim.engine import Resource, SimEvent, Simulator
+from repro.sim.links import transfer
+
+_PER_TASK_TENSORS = frozenset({TensorKind.W, TensorKind.DW, TensorKind.K})
+
+
+def _is_per_task(move: Move) -> bool:
+    return move.tensor in _PER_TASK_TENSORS
+
+
+def _chunk_sizes(nbytes: int, microbatches: tuple[int, ...]) -> list[int]:
+    """Split a per-microbatch move's bytes proportionally to the group."""
+    total = sum(microbatches)
+    if total == 0:
+        return [0 for _ in microbatches]
+    chunks = [nbytes * u // total for u in microbatches]
+    chunks[-1] += nbytes - sum(chunks)
+    return chunks
+
+
+class _TaskRuntime:
+    """Live bookkeeping for one task: its synchronization events."""
+
+    __slots__ = ("task", "mb_done", "done", "outs_flushed", "state_ready",
+                 "input_ready")
+
+    def __init__(self, sim: Simulator, task: Task):
+        self.task = task
+        self.mb_done = [SimEvent(sim) for _ in task.microbatches]
+        self.done = SimEvent(sim)
+        self.outs_flushed = SimEvent(sim)
+        self.state_ready: Optional[SimEvent] = None
+        self.input_ready: list[SimEvent] = []
+
+
+class Executor:
+    """Executes one iteration of a task graph and reports metrics."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        time_model: TrueTimeModel,
+        prefetch: bool = True,
+        host_state_bytes: int = 0,
+    ):
+        self.server = server
+        self.sim = server.sim
+        self.time_model = time_model
+        self.prefetch = prefetch
+        self.host_state_bytes = host_state_bytes
+
+    # -- public -----------------------------------------------------------------
+
+    def run(self, graph: TaskGraph, iterations: int = 1) -> RunMetrics:
+        """Execute ``iterations`` back-to-back training iterations.
+
+        Synchronous SGD requires iteration ``i+1``'s forward pass to see
+        iteration ``i``'s updated weights, so consecutive iterations are
+        separated by a flush barrier on the final weight-update tasks --
+        matching the paper's per-iteration pipeline flush.  The reported
+        ``iteration_time`` is the steady-state average.
+        """
+        if iterations < 1:
+            raise SchedulingError("need at least one iteration")
+        if graph.n_devices > self.server.spec.n_gpus:
+            raise SchedulingError(
+                f"graph targets {graph.n_devices} GPUs, server has "
+                f"{self.server.spec.n_gpus}"
+            )
+        self._check_host_memory(graph)
+
+        sim = self.sim
+        self._pageable = graph.pageable_swaps
+        self.metrics = [GpuMetrics() for _ in range(graph.n_devices)]
+        self._resident = [0] * graph.n_devices
+
+        slots = [
+            Resource(sim, capacity=2 if self.prefetch else 1, name=f"slots{d}")
+            for d in range(graph.n_devices)
+        ]
+        barrier: Optional[SimEvent] = None
+        for _iteration in range(iterations):
+            self.runtimes = [_TaskRuntime(sim, task) for task in graph.tasks]
+            for device, tasks in enumerate(graph.per_device()):
+                sim.process(
+                    self._driver(device, tasks, slots[device], barrier),
+                    name=f"runtime{device}",
+                )
+            update_flushes = [
+                self.runtimes[t.tid].outs_flushed
+                for t in graph.tasks
+                if t.kind is TaskKind.UPD
+            ]
+            barrier = sim.all_of(update_flushes or
+                                 [rt.outs_flushed for rt in self.runtimes])
+            sim.run()
+
+        end_time = sim.now
+        if iterations > 1:
+            # Report per-iteration figures (counters accumulated over the
+            # whole run).
+            for g in self.metrics:
+                g.swap_in_bytes //= iterations
+                g.swap_out_bytes //= iterations
+                g.p2p_in_bytes //= iterations
+                g.compute_busy /= iterations
+                g.cpu_busy /= iterations
+        run = RunMetrics(
+            mode=graph.mode,
+            minibatch=self._minibatch_of(graph),
+            iteration_time=end_time / iterations,
+            gpus=self.metrics,
+            host_peak_bytes=self._host_peak,
+        )
+        return run
+
+    # -- host memory -------------------------------------------------------------
+
+    def _check_host_memory(self, graph: TaskGraph) -> None:
+        """Model state plus all live checkpoint stash must fit host RAM.
+
+        This is the bound that fails ZeRO-Infinity at 40B parameters in
+        Figure 15 while Harmony, with its leaner working set, trains on.
+        """
+        stash = sum(
+            move.nbytes
+            for task in graph.tasks
+            for direction, move in task.moves()
+            if direction == "out" and move.tensor is TensorKind.CKPT
+        )
+        peak = self.host_state_bytes + stash
+        capacity = self.server.spec.host.memory_bytes
+        if peak > capacity:
+            raise HostOutOfMemoryError(
+                f"host working set {peak / 2**30:.1f} GiB exceeds CPU memory "
+                f"{capacity / 2**30:.1f} GiB"
+            )
+        self._host_peak = peak
+        self.server.host_memory.alloc(self.host_state_bytes, "model state")
+        self.server.host_memory.free(self.host_state_bytes)
+
+    @staticmethod
+    def _minibatch_of(graph: TaskGraph) -> int:
+        fwd_like = [
+            t for t in graph.tasks
+            if t.kind is TaskKind.BWD
+        ]
+        if not fwd_like:
+            return 0
+        last = max(t.last_layer for t in fwd_like)
+        return sum(
+            t.group_samples for t in fwd_like if t.last_layer == last
+        )
+
+    # -- per-device driver ---------------------------------------------------------
+
+    def _driver(self, device: int, tasks: list[Task], slots: Resource,
+                barrier: Optional[SimEvent] = None) -> Generator:
+        if barrier is not None:
+            yield barrier  # previous iteration's weight updates visible
+        for task in tasks:
+            yield slots.request()
+            rt = self.runtimes[task.tid]
+            self._track_alloc(device, task)
+            self._submit_fetch(device, rt)
+            self._submit_compute(device, rt)
+            rt.done.add_callback(lambda _v, s=slots, d=device, t=task: (
+                s.release(), self._track_free(d, t)
+            ))
+            self._submit_outs(device, rt)
+
+    def _track_alloc(self, device: int, task: Task) -> None:
+        self._resident[device] += task.resident_bytes
+        metrics = self.metrics[device]
+        metrics.peak_resident_bytes = max(
+            metrics.peak_resident_bytes, self._resident[device]
+        )
+
+    def _track_free(self, device: int, task: Task) -> None:
+        self._resident[device] -= task.resident_bytes
+
+    # -- fetch side -------------------------------------------------------------------
+
+    def _dep_event(self, move: Move, consumer: Task, mb_index: Optional[int]) -> Optional[SimEvent]:
+        """The event that makes ``move``'s data available at its source."""
+        if move.src_task is None:
+            return None
+        producer = self.runtimes[move.src_task]
+        if consumer.on_cpu or move.channel is Channel.SWAP:
+            # Stashed state read back from host: wait until the producer
+            # flushed its outputs.  (Message-passing chains still pipeline
+            # per microbatch -- the relay is streamed, not batched.)
+            return producer.outs_flushed
+        if mb_index is None:
+            return producer.done
+        if producer.task.group_samples != consumer.group_samples:
+            return producer.done
+        dep_map = mb_dependency(producer.task.microbatches, consumer.microbatches)
+        return producer.mb_done[dep_map[mb_index]]
+
+    def _in_path(self, device: int, move: Move):
+        if move.channel is Channel.P2P:
+            src_device = (
+                self.runtimes[move.src_task].task.device
+                if move.src_task is not None else move.peer
+            )
+            if src_device is None:
+                raise SchedulingError(f"p2p move {move.label!r} has no source")
+            return self.server.tree.gpu_to_gpu(src_device, device)
+        path = self.server.tree.host_to_gpu(device)
+        if self._pageable:
+            path = path + [self.server.pageable_staging]
+        return path
+
+    def _fetch_op(self, device: int, move: Move, nbytes: int,
+                  dep: Optional[SimEvent]) -> Generator:
+        if dep is not None:
+            yield dep
+        if move.channel is Channel.LOCAL or nbytes == 0:
+            return
+        if move.channel is Channel.MSG and move.src_task is not None:
+            # Message passing: relay GPU -> host staging -> GPU.  Pays both
+            # PCIe hops plus the host-side copy.
+            src_device = self.runtimes[move.src_task].task.device
+            down = self.server.tree.gpu_to_host(src_device) + [
+                self.server.pageable_staging
+            ]
+            up = self.server.tree.host_to_gpu(device)
+            yield from transfer(self.sim, down, nbytes)
+            yield from transfer(self.sim, up, nbytes)
+            self.metrics[src_device].swap_out_bytes += nbytes
+            self.metrics[device].swap_in_bytes += nbytes
+            return
+        path = self._in_path(device, move)
+        yield from transfer(self.sim, path, nbytes)
+        if move.channel is Channel.P2P:
+            self.metrics[device].p2p_in_bytes += nbytes
+        else:
+            self.metrics[device].swap_in_bytes += nbytes
+
+    def _submit_fetch(self, device: int, rt: _TaskRuntime) -> None:
+        task = rt.task
+        streams = self.server.streams[device]
+        state_events: list[SimEvent] = []
+        mb_events: list[list[SimEvent]] = [[] for _ in task.microbatches]
+
+        for move in task.ins:
+            if _is_per_task(move):
+                dep = self._dep_event(move, task, None)
+                if move.channel is Channel.LOCAL or move.nbytes == 0:
+                    event = SimEvent(self.sim)
+                    if dep is None:
+                        event.succeed()
+                    else:
+                        dep.add_callback(lambda _v, e=event: e.succeed())
+                    state_events.append(event)
+                    continue
+                state_events.append(streams.swap_in.submit(
+                    self._fetch_op(device, move, move.nbytes, dep),
+                    label=move.label,
+                ))
+            else:
+                chunks = _chunk_sizes(move.nbytes, task.microbatches)
+                for i, chunk in enumerate(chunks):
+                    dep = self._dep_event(move, task, i)
+                    if move.channel is Channel.LOCAL:
+                        event = SimEvent(self.sim)
+                        if dep is None:
+                            event.succeed()
+                        else:
+                            dep.add_callback(lambda _v, e=event: e.succeed())
+                        mb_events[i].append(event)
+                        continue
+                    stream = (
+                        streams.p2p_in if move.channel is Channel.P2P
+                        else streams.swap_in
+                    )
+                    mb_events[i].append(stream.submit(
+                        self._fetch_op(device, move, chunk, dep),
+                        label=f"{move.label}#{i}",
+                    ))
+
+        rt.state_ready = self.sim.all_of(state_events)
+        rt.input_ready = [
+            self.sim.all_of([rt.state_ready] + events) for events in mb_events
+        ]
+
+    # -- compute side ------------------------------------------------------------------
+
+    def _submit_compute(self, device: int, rt: _TaskRuntime) -> None:
+        task = rt.task
+        streams = self.server.streams[device]
+        if task.kind is TaskKind.UPD:
+            self._submit_update(device, rt)
+            return
+
+        def mb_op(index: int, u: int) -> Generator:
+            yield rt.input_ready[index]
+            duration = self.time_model.microbatch_time(task, u)
+            start = self.sim.now
+            yield self.sim.timeout(duration)
+            self.metrics[device].compute_busy += self.sim.now - start
+            rt.mb_done[index].succeed()
+
+        for i, u in enumerate(task.microbatches):
+            streams.compute.submit(mb_op(i, u), label=f"{task.label}#{i}")
+        self.sim.all_of(rt.mb_done).add_callback(
+            lambda _v: rt.done.succeed()
+        )
+
+    def _submit_update(self, device: int, rt: _TaskRuntime) -> None:
+        task = rt.task
+        streams = self.server.streams[device]
+        duration = self.time_model.update_time(task)
+
+        def op() -> Generator:
+            yield rt.input_ready[0] if rt.input_ready else rt.state_ready
+            start = self.sim.now
+            yield self.sim.timeout(duration)
+            if task.on_cpu:
+                self.metrics[device].cpu_busy += self.sim.now - start
+            else:
+                self.metrics[device].compute_busy += self.sim.now - start
+            for event in rt.mb_done:
+                event.succeed()
+            rt.done.succeed()
+
+        # CPU updates run off the GPU's compute stream so they overlap GPU
+        # work; on-GPU updates occupy the compute stream like any kernel.
+        if task.on_cpu:
+            self.sim.process(op(), name=f"cpu-upd{task.tid}")
+        else:
+            streams.compute.submit(op(), label=task.label)
+
+    # -- output side --------------------------------------------------------------------
+
+    def _out_op(self, device: int, move: Move, nbytes: int,
+                after: SimEvent) -> Generator:
+        yield after
+        if move.channel is Channel.LOCAL or nbytes == 0:
+            return
+        path = self.server.tree.gpu_to_host(device)
+        if self._pageable:
+            path = path + [self.server.pageable_staging]
+        yield from transfer(self.sim, path, nbytes)
+        self.metrics[device].swap_out_bytes += nbytes
+
+    def _submit_outs(self, device: int, rt: _TaskRuntime) -> None:
+        task = rt.task
+        streams = self.server.streams[device]
+        events: list[SimEvent] = []
+        for move in task.outs:
+            if _is_per_task(move):
+                events.append(streams.swap_out.submit(
+                    self._out_op(device, move, move.nbytes, rt.done),
+                    label=move.label,
+                ))
+            else:
+                chunks = _chunk_sizes(move.nbytes, task.microbatches)
+                for i, chunk in enumerate(chunks):
+                    events.append(streams.swap_out.submit(
+                        self._out_op(device, move, chunk, rt.mb_done[i]),
+                        label=f"{move.label}#{i}",
+                    ))
+        gate = self.sim.all_of(events + [rt.done])
+        gate.add_callback(lambda _v: rt.outs_flushed.succeed())
+
+
+def run_task_graph(
+    server: SimulatedServer,
+    graph: TaskGraph,
+    time_model: TrueTimeModel,
+    prefetch: bool = True,
+    host_state_bytes: int = 0,
+) -> RunMetrics:
+    """Convenience wrapper: execute ``graph`` once and return metrics."""
+    executor = Executor(
+        server, time_model, prefetch=prefetch, host_state_bytes=host_state_bytes
+    )
+    return executor.run(graph)

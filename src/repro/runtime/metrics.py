@@ -1,0 +1,74 @@
+"""Execution metrics collected by the Runtime.
+
+Everything the paper's figures plot comes from here: iteration time (and
+thus throughput), per-GPU swap-in/out volume, global swap volume, p2p
+volume, per-stream busy time, and memory high-water marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GpuMetrics:
+    """Per-GPU counters for one iteration."""
+
+    swap_in_bytes: int = 0
+    swap_out_bytes: int = 0
+    p2p_in_bytes: int = 0
+    compute_busy: float = 0.0
+    cpu_busy: float = 0.0
+    peak_resident_bytes: int = 0
+
+    @property
+    def swap_bytes(self) -> int:
+        return self.swap_in_bytes + self.swap_out_bytes
+
+
+@dataclass
+class RunMetrics:
+    """One iteration's results."""
+
+    mode: str
+    minibatch: int
+    iteration_time: float
+    gpus: list[GpuMetrics] = field(default_factory=list)
+    host_peak_bytes: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return self.minibatch / self.iteration_time
+
+    @property
+    def global_swap_bytes(self) -> int:
+        """Aggregate CPU<->GPU traffic across all GPUs (Figure 10c)."""
+        return sum(g.swap_bytes for g in self.gpus)
+
+    @property
+    def global_p2p_bytes(self) -> int:
+        return sum(g.p2p_in_bytes for g in self.gpus)
+
+    def idle_fraction(self, gpu: int) -> float:
+        if self.iteration_time <= 0:
+            return 0.0
+        busy = self.gpus[gpu].compute_busy
+        return max(0.0, 1.0 - busy / self.iteration_time)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.mode}: iteration {self.iteration_time:.3f}s, "
+            f"{self.throughput:.2f} samples/s, "
+            f"global swap {self.global_swap_bytes / 2**30:.2f} GiB, "
+            f"p2p {self.global_p2p_bytes / 2**30:.2f} GiB"
+        ]
+        for i, g in enumerate(self.gpus):
+            lines.append(
+                f"  gpu{i}: swap in {g.swap_in_bytes / 2**30:.2f} GiB / "
+                f"out {g.swap_out_bytes / 2**30:.2f} GiB, "
+                f"idle {self.idle_fraction(i) * 100:.0f}%"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""A small process-based discrete-event simulation kernel.
+
+The kernel follows the SimPy model: a *process* is a Python generator that
+yields :class:`SimEvent` objects; yielding suspends the process until the
+event fires.  The :class:`Simulator` owns virtual time and a binary heap of
+scheduled callbacks.
+
+Only the features the Harmony runtime needs are implemented -- timeouts,
+composable events, FIFO resources -- which keeps the kernel small enough to
+reason about and fully unit-tested.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+ProcessBody = Generator["SimEvent", Any, Any]
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` fires it, resuming
+    every waiting process with ``value``.  Waiting on an already-fired
+    event resumes the waiter immediately (on the next simulator step).
+    """
+
+    __slots__ = ("sim", "_fired", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before the event fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event, waking all waiters at the current sim time."""
+        if self._fired:
+            raise SimulationError("event fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, value)
+        return self
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event fires (immediately if
+        it already has)."""
+        if self._fired:
+            self.sim.schedule(0.0, callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+
+class Timeout(SimEvent):
+    """An event that fires ``delay`` seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float):
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        sim.schedule(delay, self.succeed)
+
+
+class AllOf(SimEvent):
+    """Fires once every event in ``events`` has fired.
+
+    The value is the list of constituent event values, in input order.
+    An empty input fires immediately.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            sim.schedule(0.0, self.succeed, [])
+            return
+        for event in self._events:
+            event.add_callback(self._one_done)
+
+    def _one_done(self, _value: Any) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event.value for event in self._events])
+
+
+class Process(SimEvent):
+    """Runs a generator as a simulation process.
+
+    The process event itself fires when the generator returns; its value is
+    the generator's return value, so processes compose (a process may yield
+    another process to join it).
+    """
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "proc"):
+        super().__init__(sim)
+        self.name = name
+        self._body = body
+        sim.schedule(0.0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        try:
+            target = self._body.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, SimEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield SimEvent instances"
+            )
+        target.add_callback(self._step)
+
+
+class Resource:
+    """A counted FIFO resource (like a semaphore with fair queuing).
+
+    ``request()`` returns an event that fires when a slot is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "res"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def request(self) -> SimEvent:
+        event = SimEvent(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            grant = self._queue.popleft()
+            grant.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Simulator:
+    """The event loop: virtual clock plus a heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, body: ProcessBody, name: str = "proc") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, body, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _seq, callback, args = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if time < self._now - 1e-12:
+                raise SimulationError("event heap time went backwards")
+            self._now = time
+            callback(*args)
+        return self._now

@@ -1,0 +1,74 @@
+"""Bandwidth-arbitrated interconnect links.
+
+A :class:`Link` models one *direction* of a PCIe (or NVLink) hop: transfers
+over a link serialize FIFO at the link's bandwidth.  A transfer over a
+*path* of links holds every hop simultaneously for ``bytes / min(bw)``
+seconds -- the cut-through model.  Links are acquired in a canonical order
+(by id) so concurrent path transfers can never deadlock.
+
+This is the mechanism that exposes the paper's PCIe oversubscription
+bottleneck (Figure 2a): several GPUs swapping to host all contend on the
+shared upstream link, so aggregate swap time grows with the number of
+swapping GPUs even though each GPU has a dedicated x16 leaf link.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Sequence
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Resource, SimEvent, Simulator
+
+
+class Link:
+    """One direction of an interconnect hop with a fixed bandwidth."""
+
+    _next_id = 0
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float):
+        if bandwidth <= 0:
+            raise SimulationError(f"link {name!r} bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)  # bytes per second
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+        self._resource = Resource(sim, capacity=1, name=name)
+        self.link_id = Link._next_id
+        Link._next_id += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.bandwidth / 1e9:.1f} GB/s)"
+
+
+def transfer(sim: Simulator, path: Sequence[Link], nbytes: int) -> Generator:
+    """Generator op that moves ``nbytes`` over ``path``.
+
+    Acquires every link (in canonical id order, preventing deadlock), holds
+    all of them for ``nbytes / min(bandwidth)`` seconds, then releases.
+    Yields from inside, so it is submitted to a :class:`Stream` or run as a
+    process directly.
+    """
+    if nbytes < 0:
+        raise SimulationError(f"negative transfer size: {nbytes}")
+    if not path:
+        return
+    if nbytes == 0:
+        return
+    ordered = sorted(path, key=lambda link: link.link_id)
+    for link in ordered:
+        yield link._resource.request()
+    duration = nbytes / min(link.bandwidth for link in path)
+    yield sim.timeout(duration)
+    for link in ordered:
+        link.bytes_moved += nbytes
+        link.busy_time += duration
+        link._resource.release()
+
+
+def path_time(path: Iterable[Link], nbytes: int) -> float:
+    """Uncontended transfer time for ``nbytes`` over ``path`` (estimation)."""
+    bandwidths = [link.bandwidth for link in path]
+    if not bandwidths or nbytes <= 0:
+        return 0.0
+    return nbytes / min(bandwidths)

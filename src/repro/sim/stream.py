@@ -1,0 +1,106 @@
+"""CUDA-stream analog: a serial, in-order work queue on the simulator.
+
+The Harmony runtime uses five streams per GPU (compute, swap-in, swap-out,
+p2p-in, p2p-out) and CUDA events for cross-stream dependencies; this module
+provides exactly that abstraction.  Submitting work returns a
+:class:`~repro.sim.engine.SimEvent` that fires on completion, which doubles
+as the ``cudaEvent`` recorded after the operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import SimEvent, Simulator
+
+
+class Stream:
+    """A FIFO executor: queued operations run one at a time, in order.
+
+    Operations are generators (sub-processes).  Each submitted op gets a
+    completion :class:`SimEvent`; ops may themselves wait on events from
+    other streams, giving CUDA-like cross-stream synchronization.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._queue: deque[tuple[Generator, SimEvent]] = deque()
+        self._running = False
+        self.busy_time = 0.0
+        self._ops_done = 0
+
+    @property
+    def ops_completed(self) -> int:
+        return self._ops_done
+
+    def submit(self, op: Generator, label: str = "") -> SimEvent:
+        """Enqueue ``op`` (a generator body) and return its completion event."""
+        done = SimEvent(self.sim)
+        self._queue.append((op, done))
+        if not self._running:
+            self._running = True
+            self.sim.process(self._drain(), name=f"stream:{self.name}")
+        return done
+
+    def delay(self, seconds: float, label: str = "") -> SimEvent:
+        """Enqueue a fixed-duration operation (e.g. a kernel launch)."""
+
+        def body() -> Generator:
+            start = self.sim.now
+            yield self.sim.timeout(seconds)
+            self.busy_time += self.sim.now - start
+
+        return self.submit(body(), label=label)
+
+    def barrier(self, event: SimEvent) -> SimEvent:
+        """Enqueue a wait: later ops on this stream run only after ``event``.
+
+        Mirrors ``cudaStreamWaitEvent``.  Waiting does not count as busy
+        time.
+        """
+
+        def body() -> Generator:
+            yield event
+
+        return self.submit(body())
+
+    def call(self, fn: Callable[[], Any]) -> SimEvent:
+        """Enqueue an instantaneous host callback in stream order."""
+
+        def body() -> Generator:
+            fn()
+            return
+            yield  # pragma: no cover - makes ``body`` a generator
+
+        return self.submit(body())
+
+    def _drain(self) -> Generator:
+        while self._queue:
+            op, done = self._queue.popleft()
+            result = yield self.sim.process(op, name=f"{self.name}:op")
+            self._ops_done += 1
+            done.succeed(result)
+        self._running = False
+
+
+class StreamSet:
+    """The five per-GPU streams the Harmony runtime uses (Section 4.4)."""
+
+    NAMES = ("compute", "swap_in", "swap_out", "p2p_in", "p2p_out")
+
+    def __init__(self, sim: Simulator, owner: str):
+        self.compute = Stream(sim, f"{owner}.compute")
+        self.swap_in = Stream(sim, f"{owner}.swap_in")
+        self.swap_out = Stream(sim, f"{owner}.swap_out")
+        self.p2p_in = Stream(sim, f"{owner}.p2p_in")
+        self.p2p_out = Stream(sim, f"{owner}.p2p_out")
+
+    def all(self) -> tuple[Stream, ...]:
+        return (self.compute, self.swap_in, self.swap_out, self.p2p_in, self.p2p_out)
+
+    def by_name(self, name: str) -> Stream:
+        if name not in self.NAMES:
+            raise KeyError(f"unknown stream {name!r}; expected one of {self.NAMES}")
+        return getattr(self, name)

@@ -1,0 +1,23 @@
+"""Appendix A: NP-hardness of the Harmony scheduling problem.
+
+- :mod:`~repro.theory.makespan` -- the simplified Harmony scheduling
+  problem (Definition A.1): contiguous layer packs, round-robin GPU
+  assignment, per-microbatch chaining; exact makespan evaluation and
+  brute-force optimal packing for small instances.
+- :mod:`~repro.theory.partition` -- the polynomial reduction from the
+  Partition problem (Table 2 of the appendix), the target makespan ``T``,
+  and the forward direction's explicit witness packing.
+"""
+
+from repro.theory.makespan import SchedulingInstance, LayerItem, makespan, brute_force_optimum
+from repro.theory.partition import partition_reduction, witness_packing, target_makespan
+
+__all__ = [
+    "SchedulingInstance",
+    "LayerItem",
+    "makespan",
+    "brute_force_optimum",
+    "partition_reduction",
+    "witness_packing",
+    "target_makespan",
+]

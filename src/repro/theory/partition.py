@@ -1,0 +1,96 @@
+"""The reduction from Partition (Proposition A.2).
+
+Given a Partition instance ``a_1..a_n``, emit the scheduling instance of
+Table 2: ``B=3`` microbatches, ``G=2`` GPUs, memory ``M=7``, and ``3n+4``
+layers -- two heavy single-layer bookends on each side, and a
+``(5A, a_i, 5A)`` triple per number, where ``A = 6 * sum(a)``.  The layer
+``3i+1`` (size 2) can join the pack of layer ``3i`` or ``3i+2`` (size 4
+each, so a pair fits ``M=7`` but a triple does not), encoding which side
+of the partition ``a_i`` lands on.
+
+``target_makespan`` is the lower bound ``T`` of the proof; a packing
+attains it iff the GPUs idle only during the forced-idle bookends, which
+happens iff the chosen sides balance -- i.e. iff the Partition instance
+is a YES instance.  ``witness_packing`` constructs the balancing packing
+from a Partition certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.common.errors import SchedulingError
+from repro.theory.makespan import LayerItem, SchedulingInstance
+
+B_MICROBATCHES = 3
+G_GPUS = 2
+MEMORY = 7.0
+
+
+def partition_reduction(numbers: Sequence[int]) -> SchedulingInstance:
+    """Emit the Table 2 scheduling instance for ``numbers``."""
+    if not numbers or any(a <= 0 for a in numbers):
+        raise SchedulingError("Partition instances need positive integers")
+    big = 6.0 * sum(numbers)  # the "large enough" A
+    layers: list[LayerItem] = [
+        LayerItem(time=8 * big, size=6),
+        LayerItem(time=8 * big, size=6),
+    ]
+    for a in numbers:
+        layers.append(LayerItem(time=5 * big, size=4))
+        layers.append(LayerItem(time=float(a), size=2))
+        layers.append(LayerItem(time=5 * big, size=4))
+    layers.append(LayerItem(time=8 * big, size=6))
+    layers.append(LayerItem(time=8 * big, size=6))
+    return SchedulingInstance(
+        layers=tuple(layers),
+        n_microbatches=B_MICROBATCHES,
+        n_gpus=G_GPUS,
+        memory=MEMORY,
+    )
+
+
+def target_makespan(numbers: Sequence[int]) -> float:
+    """The proof's lower bound ``T``: (total work + forced idle) / G."""
+    instance = partition_reduction(numbers)
+    total = B_MICROBATCHES * sum(l.time for l in instance.layers)
+    forced_idle = instance.layers[0].time + instance.layers[-1].time
+    return (total + forced_idle) / G_GPUS
+
+
+def witness_packing(numbers: Sequence[int], side_one: Iterable[int]) -> list[list[int]]:
+    """The forward-direction packing for a Partition certificate.
+
+    ``side_one`` holds the (0-based) indices ``i`` whose ``a_i`` goes to
+    GPU 1: layer ``3i+1`` packs with layer ``3i`` (forming {3i, 3i+1});
+    the rest pack with ``3i+2``.
+    """
+    chosen = set(side_one)
+    packs: list[list[int]] = [[0], [1]]
+    for i in range(len(numbers)):
+        low = 2 + 3 * i  # the paper indexes layers from 1; we use 0-based
+        if i in chosen:
+            packs.append([low, low + 1])
+            packs.append([low + 2])
+        else:
+            packs.append([low])
+            packs.append([low + 1, low + 2])
+    n_layers = 3 * len(numbers) + 4
+    packs.append([n_layers - 2])
+    packs.append([n_layers - 1])
+    return packs
+
+
+def exact_partition(numbers: Sequence[int]) -> Optional[list[int]]:
+    """Brute-force Partition solver (for cross-checking small instances):
+    returns indices of one balanced side, or ``None`` for NO instances."""
+    total = sum(numbers)
+    if total % 2:
+        return None
+    target = total // 2
+    n = len(numbers)
+    for mask in range(1 << n):
+        subset = [i for i in range(n) if mask >> i & 1]
+        if sum(numbers[i] for i in subset) == target:
+            return subset
+    return None

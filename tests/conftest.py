@@ -1,0 +1,60 @@
+"""Shared fixtures: a simulator, a small server, and a profiled toy model."""
+
+import pytest
+
+from repro.core.decomposer import Decomposer
+from repro.core.profiler import Profiler
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.host import HostSpec
+from repro.hardware.interconnect import TopologySpec
+from repro.hardware.server import ServerSpec
+from repro.models.transformer import tiny_transformer
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def small_gpu():
+    # 256 MiB, 1 TFLOP sustained: the toy transformer needs packing but
+    # fits comfortably per layer.
+    return GpuSpec(name="toy-gpu", memory_bytes=256 * 2**20,
+                   peak_flops=2e12, efficiency=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_server(small_gpu):
+    return ServerSpec(
+        n_gpus=2,
+        gpu=small_gpu,
+        host=HostSpec(cores=8, memory_bytes=64 * 2**30),
+        topology=TopologySpec(n_gpus=2, gpus_per_switch=2),
+    )
+
+
+@pytest.fixture(scope="session")
+def four_gpu_server(small_gpu):
+    return ServerSpec(
+        n_gpus=4,
+        gpu=small_gpu,
+        host=HostSpec(cores=8, memory_bytes=64 * 2**30),
+        topology=TopologySpec(n_gpus=4, gpus_per_switch=4),
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_model():
+    return tiny_transformer(n_blocks=6, hidden=64, seq_len=16)
+
+
+@pytest.fixture(scope="session")
+def toy_decomposed(toy_model):
+    return Decomposer(seed=0).decompose(toy_model)
+
+
+@pytest.fixture(scope="session")
+def toy_profiles(toy_decomposed, small_gpu):
+    return Profiler(small_gpu).profile(toy_decomposed)

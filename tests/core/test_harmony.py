@@ -1,0 +1,66 @@
+"""End-to-end tests of the Harmony facade."""
+
+import pytest
+
+from repro.core.harmony import Harmony, HarmonyOptions
+
+
+@pytest.fixture
+def options():
+    return HarmonyOptions(capacity_fraction=0.005, u_fmax=8, u_bmax=8)
+
+
+class TestPlan:
+    def test_plan_is_memoized(self, toy_model, small_server, options):
+        harmony = Harmony(toy_model, small_server, 8, options)
+        assert harmony.plan() is harmony.plan()
+
+    def test_plan_with_config_is_not_memoized(self, toy_model, small_server,
+                                              options):
+        harmony = Harmony(toy_model, small_server, 8, options)
+        base = harmony.plan()
+        manual = harmony.plan(config=base.config)
+        assert manual is not base
+        assert harmony.plan() is base
+
+    def test_describe_mentions_model_and_mode(self, toy_model, small_server,
+                                              options):
+        harmony = Harmony(toy_model, small_server, 8, options)
+        text = harmony.plan().describe()
+        assert toy_model.name in text
+        assert "PP" in text
+
+    def test_model_by_name(self, small_server, options):
+        harmony = Harmony("toy-transformer", small_server, 8, options)
+        assert harmony.model.name == "toy-transformer-6"
+
+
+class TestRun:
+    def test_run_produces_metrics(self, toy_model, small_server, options):
+        report = Harmony(toy_model, small_server, 8, options).run()
+        assert report.metrics.iteration_time > 0
+        assert report.metrics.minibatch == 8
+        assert len(report.metrics.gpus) == 2
+
+    def test_pp_swap_volume_below_dp(self, toy_model, small_server, options):
+        from dataclasses import replace
+
+        pp = Harmony(toy_model, small_server, 8, options).run()
+        dp = Harmony(toy_model, small_server, 8,
+                     replace(options, mode="dp")).run()
+        assert pp.metrics.global_swap_bytes < dp.metrics.global_swap_bytes
+
+    def test_ablation_switch_validation(self):
+        with pytest.raises(ValueError):
+            HarmonyOptions().without("warp-drive")
+
+    def test_without_flips_exactly_one_flag(self):
+        options = HarmonyOptions().without("grouping")
+        assert not options.grouping
+        assert options.jit and options.p2p and options.prefetch
+
+    def test_report_describe_renders(self, toy_model, small_server, options):
+        report = Harmony(toy_model, small_server, 8, options).run()
+        text = report.describe()
+        assert "iteration" in text
+        assert "gpu0" in text

@@ -1,0 +1,99 @@
+"""Tests for Algorithm 2 (balanced-time packing) and the greedy strawman."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import InfeasibleConfigError
+from repro.core.config import validate_packs
+from repro.core.packing import (
+    balanced_time_packing,
+    greedy_memory_packing,
+    pack_imbalance,
+)
+from repro.graph.layer import Phase
+
+
+class TestBalancedTimePacking:
+    def test_packs_tile_the_chain(self, toy_profiles):
+        packs = balanced_time_packing(
+            Phase.BWD, 2, toy_profiles, capacity=64 * 2**20
+        )
+        validate_packs(packs, len(toy_profiles))
+
+    def test_every_pack_fits_capacity(self, toy_profiles):
+        capacity = 8 * 2**20
+        packs = balanced_time_packing(Phase.BWD, 2, toy_profiles, capacity)
+        for pack in packs:
+            assert toy_profiles.pack_bwd_memory(pack, 2) <= capacity
+
+    def test_maximizes_pack_size(self, toy_profiles):
+        """Looser memory -> fewer (larger) packs."""
+        tight = balanced_time_packing(Phase.BWD, 2, toy_profiles, 4 * 2**20)
+        loose = balanced_time_packing(Phase.BWD, 2, toy_profiles, 64 * 2**20)
+        assert len(loose) <= len(tight)
+
+    def test_balances_time(self, toy_profiles):
+        packs = balanced_time_packing(
+            Phase.BWD, 2, toy_profiles, 6 * 2**20
+        )
+        if len(packs) > 1:
+            assert pack_imbalance(toy_profiles, Phase.BWD, packs, 2) < 1.8
+
+    def test_min_packs_respected(self, toy_profiles):
+        packs = balanced_time_packing(
+            Phase.BWD, 2, toy_profiles, 64 * 2**20, min_packs=4
+        )
+        assert len(packs) >= 4
+
+    def test_forward_mode_appends_backward_tail(self, toy_profiles):
+        packs_b = balanced_time_packing(Phase.BWD, 1, toy_profiles, 8 * 2**20)
+        packs_f = balanced_time_packing(
+            Phase.FWD, 2, toy_profiles, 8 * 2**20, backward_packs=packs_b
+        )
+        assert packs_f[-1] == packs_b[-1]
+        validate_packs(packs_f, len(toy_profiles))
+
+    def test_infeasible_capacity_raises(self, toy_profiles):
+        with pytest.raises(InfeasibleConfigError):
+            balanced_time_packing(Phase.BWD, 64, toy_profiles, capacity=1024)
+
+    @settings(max_examples=20, deadline=None)
+    @given(u=st.integers(1, 8), capacity_mb=st.integers(4, 64))
+    def test_always_valid_or_infeasible(self, toy_profiles, u, capacity_mb):
+        try:
+            packs = balanced_time_packing(
+                Phase.BWD, u, toy_profiles, capacity_mb * 2**20
+            )
+        except InfeasibleConfigError:
+            return
+        validate_packs(packs, len(toy_profiles))
+        for pack in packs:
+            assert toy_profiles.pack_bwd_memory(pack, u) <= capacity_mb * 2**20
+
+
+class TestGreedyPacking:
+    def test_tiles_and_fits(self, toy_profiles):
+        capacity = 8 * 2**20
+        packs = greedy_memory_packing(Phase.FWD, 2, toy_profiles, capacity)
+        validate_packs(packs, len(toy_profiles))
+        for pack in packs:
+            assert toy_profiles.pack_fwd_memory(pack, 2) <= capacity
+
+    def test_greedy_never_more_packs_than_balanced(self, toy_profiles):
+        capacity = 8 * 2**20
+        greedy = greedy_memory_packing(Phase.BWD, 2, toy_profiles, capacity)
+        balanced = balanced_time_packing(Phase.BWD, 2, toy_profiles, capacity)
+        assert len(greedy) <= len(balanced) + 1
+
+    def test_oversized_layer_raises(self, toy_profiles):
+        with pytest.raises(InfeasibleConfigError):
+            greedy_memory_packing(Phase.BWD, 64, toy_profiles, capacity=1024)
+
+
+class TestImbalanceMetric:
+    def test_uniform_packs_near_one(self, toy_profiles):
+        from repro.core.config import Pack
+
+        packs = (Pack(1, 2), Pack(3, 4))  # two identical blocks each
+        ratio = pack_imbalance(toy_profiles, Phase.FWD, packs, 2)
+        assert ratio == pytest.approx(1.0, abs=0.1)

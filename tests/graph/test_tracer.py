@@ -1,0 +1,94 @@
+"""Tests for the module tracer (the Decomposer's hook mechanism)."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.tracer import (
+    Add,
+    Conv2d,
+    Dense,
+    Module,
+    Pool2d,
+    SymbolicTensor,
+    trace,
+)
+
+
+class _Mlp(Module):
+    def forward(self, x):
+        x = Dense(16, 32)(x)
+        x = Dense(32, 8)(x)
+        return x
+
+
+class _Skip(Module):
+    def forward(self, x):
+        x = Conv2d(3, 8, 16)(x)
+        skip = x
+        y = Conv2d(8, 8, 16)(x)
+        y = Conv2d(8, 8, 16)(y)
+        return Add()(y, skip)
+
+
+class TestTrace:
+    def test_records_layers_in_call_order(self):
+        graph = trace(_Mlp(), input_bytes_per_sample=64, name="mlp")
+        assert len(graph) == 2
+        assert graph.is_chain()
+        assert graph[0].kind == "dense"
+
+    def test_input_size_propagates(self):
+        graph = trace(_Mlp(), input_bytes_per_sample=64, name="mlp")
+        assert graph[0].act_in_bytes_per_sample == 64
+        assert graph[1].act_in_bytes_per_sample == 32 * 4
+
+    def test_branching_recorded(self):
+        graph = trace(_Skip(), input_bytes_per_sample=3 * 16 * 16 * 4,
+                      name="skip")
+        assert len(graph) == 4
+        assert not graph.is_chain()
+        # Add consumes conv0's output via the skip edge.
+        assert 0 in graph.predecessors(3)
+        assert 2 in graph.predecessors(3)
+
+    def test_leaf_outside_trace_rejected(self):
+        with pytest.raises(GraphError):
+            Dense(4, 4)(SymbolicTensor(bytes_per_sample=16))
+
+    def test_trace_not_reentrant(self):
+        class _Nested(Module):
+            def forward(self, x):
+                trace(_Mlp(), 64, name="inner")
+                return Dense(16, 4)(x)
+
+        with pytest.raises(GraphError):
+            trace(_Nested(), 64, name="outer")
+
+    def test_add_requires_two_inputs(self):
+        class _Bad(Module):
+            def forward(self, x):
+                return Add()(x)
+
+        with pytest.raises(GraphError):
+            trace(_Bad(), 64, name="bad")
+
+
+class TestLeafCosts:
+    def test_dense_params_and_flops(self):
+        graph = trace(_Mlp(), 64, name="mlp")
+        dense = graph[0]
+        assert dense.param_bytes == (16 + 1) * 32 * 4
+        assert dense.flops_fwd_per_sample == 2 * 16 * 32
+
+    def test_conv_output_spatial(self):
+        conv = Conv2d(3, 8, 32, stride=2)
+        assert conv.out_spatial == 16
+
+    def test_pool_shrinks_output(self):
+        class _P(Module):
+            def forward(self, x):
+                x = Conv2d(3, 8, 16)(x)
+                return Pool2d(8, 16)(x)
+
+        graph = trace(_P(), 3 * 16 * 16 * 4, name="p")
+        assert graph[1].act_out_bytes_per_sample == 8 * 8 * 8 * 4

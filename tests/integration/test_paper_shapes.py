@@ -1,0 +1,107 @@
+"""Integration tests: the paper's headline shapes on the real models.
+
+Small-minibatch versions of the benchmark assertions, so the unit suite
+exercises the full pipeline (zoo -> decompose -> profile -> search ->
+execute) on the actual evaluation models, not just the toy transformer.
+"""
+
+import pytest
+
+from repro.baselines import DpSwapPlanner, ZeroInfinityPlanner
+from repro.common.errors import HostOutOfMemoryError
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.hardware.server import eight_gpu_commodity_server, four_gpu_commodity_server
+
+MINIBATCH = 16
+
+
+@pytest.fixture(scope="module")
+def server():
+    return four_gpu_commodity_server()
+
+
+@pytest.fixture(scope="module")
+def gpt2_cells(server):
+    cells = {}
+    cells["dp-swap"] = DpSwapPlanner("gpt2", server, MINIBATCH).run()
+    for mode in ("dp", "pp"):
+        harmony = Harmony("gpt2", server, MINIBATCH,
+                          options=HarmonyOptions(mode=mode))
+        cells[f"harmony-{mode}"] = harmony.run().metrics
+    return cells
+
+
+class TestHeadlineShapes:
+    def test_harmony_beats_dp_swap(self, gpt2_cells):
+        for mode in ("harmony-dp", "harmony-pp"):
+            speedup = (gpt2_cells["dp-swap"].iteration_time
+                       / gpt2_cells[mode].iteration_time)
+            assert speedup > 2.0, mode
+
+    def test_swap_reduction_order_of_magnitude(self, gpt2_cells):
+        ratio = (gpt2_cells["dp-swap"].global_swap_bytes
+                 / gpt2_cells["harmony-pp"].global_swap_bytes)
+        assert ratio > 10
+
+    def test_pp_swap_below_dp(self, gpt2_cells):
+        assert (gpt2_cells["harmony-pp"].global_swap_bytes
+                < gpt2_cells["harmony-dp"].global_swap_bytes / 2)
+
+    def test_searched_config_matches_paper_structure(self, server):
+        """GPT2's backward side packs into few large packs at U_B=1
+        (Table 5: four packs of 12-14 layers)."""
+        harmony = Harmony("gpt2", server, 64, options=HarmonyOptions(mode="pp"))
+        config = harmony.plan().config
+        assert config.u_b <= 4
+        assert 3 <= len(config.packs_b) <= 16
+        assert config.jit_compute_aligned
+
+    def test_scheduler_wall_time_reasonable(self, server):
+        harmony = Harmony("bert96", server, 32,
+                          options=HarmonyOptions(mode="pp"))
+        plan = harmony.plan()
+        assert plan.search.elapsed_seconds < 60
+
+
+class TestMassiveModels:
+    def test_harmony_trains_40b_where_zero_cannot(self):
+        server = eight_gpu_commodity_server()
+        harmony = Harmony("gpt2-40b", server, 16,
+                          options=HarmonyOptions(mode="pp"))
+        metrics = harmony.run().metrics
+        assert metrics.throughput > 0
+
+        config = harmony.plan().config
+        zero = ZeroInfinityPlanner("gpt2-40b", server, 16,
+                                   u_f=config.u_f, u_b=config.u_b)
+        with pytest.raises(HostOutOfMemoryError):
+            zero.run()
+
+    def test_estimator_tracks_actual_on_bert_large(self):
+        server = four_gpu_commodity_server()
+        harmony = Harmony("bert-large", server, 60,
+                          options=HarmonyOptions(mode="pp"))
+        plan = harmony.plan()
+        actual = harmony.run(plan=plan).metrics.iteration_time
+        assert plan.search.best_estimate == pytest.approx(actual, rel=0.15)
+
+
+class TestCorrectnessPipeline:
+    def test_numeric_equivalence_quick(self):
+        from repro.numeric.data import synthetic_mrpc
+        from repro.numeric.harmony_exec import HarmonyNumericTrainer
+        from repro.numeric.model import make_classifier
+        from repro.numeric.optim import Adam
+        from repro.numeric.trainer import ReferenceTrainer
+
+        dataset = synthetic_mrpc(n_train=64, n_eval=32)
+        base = ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3)).train(
+            dataset, batch_size=32
+        )
+        harmony = HarmonyNumericTrainer(
+            make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=2, n_workers=2
+        ).train(dataset, batch_size=32)
+        deviation = max(
+            abs(a - b) for a, b in zip(base.losses, harmony.losses)
+        )
+        assert deviation < 1e-10

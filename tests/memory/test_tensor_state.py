@@ -1,0 +1,74 @@
+"""Tests for the tensor lifetime state machine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.tensor_state import TensorHome, TensorRecord, TensorTable
+
+
+class TestTensorRecord:
+    def test_defaults_to_host_home(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        assert record.home is TensorHome.HOST
+        assert not record.resident_on(0)
+
+    def test_materialize_and_evict(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        record.materialize(1)
+        assert record.resident_on(1)
+        record.evict(1)
+        assert not record.resident_on(1)
+
+    def test_evict_absent_raises(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        with pytest.raises(SimulationError):
+            record.evict(0)
+
+    def test_dirty_invalidates_other_copies(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        record.materialize(0)
+        record.materialize(1)
+        record.mark_dirty(0)
+        assert record.resident_on(0)
+        assert not record.resident_on(1)
+        assert record.dirty_on == 0
+
+    def test_dirty_without_copy_raises(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        with pytest.raises(SimulationError):
+            record.mark_dirty(2)
+
+    def test_writeback_clears_dirty(self):
+        record = TensorRecord(key="W:0", nbytes=100)
+        record.materialize(0)
+        record.mark_dirty(0)
+        record.writeback()
+        assert record.dirty_on is None
+        assert record.home is TensorHome.HOST
+
+
+class TestTensorTable:
+    def test_declare_and_get(self):
+        table = TensorTable()
+        table.declare("W:0", 100)
+        assert table.get("W:0").nbytes == 100
+        assert "W:0" in table
+        assert len(table) == 1
+
+    def test_double_declare_raises(self):
+        table = TensorTable()
+        table.declare("W:0", 100)
+        with pytest.raises(SimulationError):
+            table.declare("W:0", 100)
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(SimulationError):
+            TensorTable().get("nope")
+
+    def test_resident_bytes_per_gpu(self):
+        table = TensorTable()
+        table.declare("a", 100).materialize(0)
+        table.declare("b", 50).materialize(0)
+        table.declare("c", 25).materialize(1)
+        assert table.resident_bytes(0) == 150
+        assert table.resident_bytes(1) == 25

@@ -1,0 +1,142 @@
+"""Gradient checks for the numeric layers (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.layers import (
+    CrossEntropyHead,
+    Gelu,
+    LayerNorm,
+    Linear,
+    Residual,
+)
+
+RNG = np.random.default_rng(42)
+EPS = 1e-6
+
+
+def numeric_grad_input(layer, x, dy):
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        old = flat_x[i]
+        flat_x[i] = old + EPS
+        up, _ = layer.forward(x)
+        flat_x[i] = old - EPS
+        down, _ = layer.forward(x)
+        flat_x[i] = old
+        flat_g[i] = ((up - down) * dy).sum() / (2 * EPS)
+    return grad
+
+
+def check_input_grad(layer, x):
+    y, stash = layer.forward(x)
+    dy = RNG.normal(size=y.shape)
+    layer.zero_grad()
+    dx = layer.backward(dy, stash)
+    expected = numeric_grad_input(layer, x, dy)
+    np.testing.assert_allclose(dx, expected, rtol=1e-5, atol=1e-7)
+
+
+class TestLinear:
+    def test_input_gradient(self):
+        check_input_grad(Linear(5, 3, RNG), RNG.normal(size=(4, 5)))
+
+    def test_weight_gradient(self):
+        layer = Linear(4, 3, RNG)
+        x = RNG.normal(size=(6, 4))
+        y, stash = layer.forward(x)
+        dy = RNG.normal(size=y.shape)
+        layer.zero_grad()
+        layer.backward(dy, stash)
+        for i in range(layer.w.size):
+            old = layer.w.flat[i]
+            layer.w.flat[i] = old + EPS
+            up, _ = layer.forward(x)
+            layer.w.flat[i] = old - EPS
+            down, _ = layer.forward(x)
+            layer.w.flat[i] = old
+            expected = ((up - down) * dy).sum() / (2 * EPS)
+            assert layer.dw.flat[i] == pytest.approx(expected, rel=1e-4,
+                                                     abs=1e-7)
+
+    def test_gradients_accumulate(self):
+        layer = Linear(4, 3, RNG)
+        x = RNG.normal(size=(2, 4))
+        y, stash = layer.forward(x)
+        dy = np.ones_like(y)
+        layer.zero_grad()
+        layer.backward(dy, stash)
+        once = layer.dw.copy()
+        layer.backward(dy, stash)
+        np.testing.assert_allclose(layer.dw, 2 * once)
+
+
+class TestPointwise:
+    def test_gelu_gradient(self):
+        check_input_grad(Gelu(), RNG.normal(size=(3, 6)))
+
+    def test_layernorm_gradient(self):
+        check_input_grad(LayerNorm(8), RNG.normal(size=(4, 8)))
+
+    def test_layernorm_normalizes(self):
+        layer = LayerNorm(16)
+        y, _ = layer.forward(RNG.normal(size=(5, 16)) * 7 + 3)
+        assert np.allclose(y.mean(axis=-1), 0, atol=1e-10)
+        assert np.allclose(y.var(axis=-1), 1, atol=1e-3)
+
+    def test_residual_gradient(self):
+        block = Residual([Linear(6, 6, RNG), Gelu()])
+        check_input_grad(block, RNG.normal(size=(3, 6)))
+
+    def test_residual_parameters_namespaced(self):
+        block = Residual([Linear(6, 6, RNG), Gelu(), Linear(6, 6, RNG)])
+        names = set(block.parameters())
+        assert "0.w" in names and "2.b" in names
+
+
+class TestCrossEntropy:
+    def _head(self, n=5, classes=4, total=None):
+        head = CrossEntropyHead()
+        targets = RNG.integers(0, classes, size=n)
+        head.set_targets(targets, total_weight=total or n)
+        return head, targets
+
+    def test_loss_matches_manual(self):
+        head, targets = self._head()
+        logits = RNG.normal(size=(5, 4))
+        loss, _ = head.forward(logits)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=-1, keepdims=True)
+        manual = -np.log(probs[np.arange(5), targets]).mean()
+        assert loss[0] == pytest.approx(manual)
+
+    def test_gradient(self):
+        head, _ = self._head()
+        logits = RNG.normal(size=(5, 4))
+        _, stash = head.forward(logits)
+        dx = head.backward(np.array([1.0]), stash)
+        expected = numeric_grad_input(head, logits, np.array([1.0]))
+        np.testing.assert_allclose(dx, expected, rtol=1e-5, atol=1e-8)
+
+    def test_partial_weighting_sums_to_full(self):
+        """Microbatch losses with total_weight=D sum to the full-batch
+        loss -- the property grouped execution relies on."""
+        logits = RNG.normal(size=(6, 4))
+        targets = RNG.integers(0, 4, size=6)
+        full = CrossEntropyHead()
+        full.set_targets(targets, total_weight=6)
+        loss_full, _ = full.forward(logits)
+        partial = 0.0
+        for lo in (0, 3):
+            head = CrossEntropyHead()
+            head.set_targets(targets[lo:lo + 3], total_weight=6)
+            loss, _ = head.forward(logits[lo:lo + 3])
+            partial += loss[0]
+        assert partial == pytest.approx(loss_full[0])
+
+    def test_targets_required(self):
+        head = CrossEntropyHead()
+        with pytest.raises(RuntimeError):
+            head.forward(RNG.normal(size=(2, 3)))

@@ -1,0 +1,137 @@
+"""Tests for the reference and Harmony numeric trainers.
+
+The headline property (Figures 12/19): training through the Harmony
+schedule -- microbatching, checkpoint rematerialization, grouped
+execution, DP sharding -- reproduces the baseline's loss on *every*
+minibatch to float64 precision.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numeric.data import synthetic_mrpc, synthetic_wikitext
+from repro.numeric.harmony_exec import HarmonyNumericTrainer, default_packs
+from repro.numeric.model import make_classifier, make_lm
+from repro.numeric.optim import Adam, Sgd
+from repro.numeric.trainer import ReferenceTrainer
+
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_mrpc(n_train=128, n_eval=64)
+
+
+class TestReferenceTrainer:
+    def test_loss_decreases(self, dataset):
+        trainer = ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3))
+        curve = trainer.train(dataset, batch_size=32, epochs=4)
+        assert curve.losses[-1] < curve.losses[0] * 0.9
+
+    def test_learns_better_than_chance(self, dataset):
+        trainer = ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3))
+        curve = trainer.train(dataset, batch_size=32, epochs=6)
+        assert curve.eval_accuracy > 0.7
+
+    def test_deterministic(self, dataset):
+        runs = [
+            ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3)).train(
+                dataset, batch_size=32
+            ).losses
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_sgd_also_trains(self, dataset):
+        trainer = ReferenceTrainer(make_classifier(seed=0), Sgd(lr=0.05))
+        curve = trainer.train(dataset, batch_size=32, epochs=4)
+        assert curve.losses[-1] < curve.losses[0]
+
+
+class TestDefaultPacks:
+    def test_tiles_layers(self):
+        packs = default_packs(11, 3)
+        assert packs[0][0] == 0
+        assert packs[-1][1] == 10
+        assert sum(last - first + 1 for first, last in packs) == 11
+
+
+def max_deviation(a, b):
+    return max(abs(x - y) for x, y in zip(a.losses, b.losses))
+
+
+class TestHarmonyMatchesBaseline:
+    def _baseline(self, dataset):
+        return ReferenceTrainer(make_classifier(seed=0), Adam(lr=2e-3)).train(
+            dataset, batch_size=32, epochs=2
+        )
+
+    def test_pp_exact(self, dataset):
+        base = self._baseline(dataset)
+        harmony = HarmonyNumericTrainer(
+            make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=4
+        ).train(dataset, batch_size=32, epochs=2)
+        assert max_deviation(base, harmony) < TOL
+        assert harmony.eval_accuracy == base.eval_accuracy
+
+    def test_dp_exact(self, dataset):
+        base = self._baseline(dataset)
+        harmony = HarmonyNumericTrainer(
+            make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=4, n_workers=4
+        ).train(dataset, batch_size=32, epochs=2)
+        assert max_deviation(base, harmony) < TOL
+
+    def test_lm_task_exact(self):
+        data = synthetic_wikitext(n_train=128, n_eval=64)
+        base = ReferenceTrainer(make_lm(seed=1), Adam(lr=2e-3)).train(
+            data, batch_size=32
+        )
+        harmony = HarmonyNumericTrainer(
+            make_lm(seed=1), Adam(lr=2e-3), u_f=4, u_b=8
+        ).train(data, batch_size=32)
+        assert max_deviation(base, harmony) < TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        u_f=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        u_b=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        n_packs=st.integers(1, 6),
+        workers=st.sampled_from([1, 2, 4]),
+    )
+    def test_any_schedule_preserves_semantics(self, dataset, u_f, u_b,
+                                              n_packs, workers):
+        """Property: whatever the four-tuple and worker count, one
+        iteration's loss and gradients match the baseline."""
+        x = dataset.x_train[:32]
+        y = dataset.y_train[:32]
+        reference = make_classifier(seed=0)
+        ref_trainer = ReferenceTrainer(reference, Adam(lr=2e-3))
+        ref_loss = ref_trainer.train_iteration(x, y)
+
+        model = make_classifier(seed=0)
+        harmony = HarmonyNumericTrainer(
+            model, Adam(lr=2e-3), u_f=u_f, u_b=u_b,
+            packs_b=default_packs(model.n_layers, n_packs),
+            n_workers=workers,
+        )
+        loss = harmony.train_iteration(x, y)
+        assert loss == pytest.approx(ref_loss, abs=TOL)
+        for name, param in reference.parameters().items():
+            np.testing.assert_allclose(
+                model.parameters()[name], param, atol=1e-9
+            )
+
+    def test_mismatched_packs_rejected(self):
+        model = make_classifier()
+        with pytest.raises(ValueError):
+            HarmonyNumericTrainer(model, Adam(), u_f=4, u_b=4,
+                                  packs_b=[(0, 3)])
+
+    def test_worker_divisibility_enforced(self, dataset):
+        harmony = HarmonyNumericTrainer(
+            make_classifier(seed=0), Adam(lr=2e-3), u_f=8, u_b=8, n_workers=3
+        )
+        with pytest.raises(ValueError):
+            harmony.train_iteration(dataset.x_train[:32], dataset.y_train[:32])

@@ -1,0 +1,56 @@
+"""Tests for multi-iteration (steady-state) execution."""
+
+import pytest
+
+from repro.core.harmony import Harmony, HarmonyOptions
+
+
+@pytest.fixture
+def harmony(toy_model, small_server):
+    return Harmony(toy_model, small_server, 8,
+                   HarmonyOptions(capacity_fraction=0.005))
+
+
+class TestMultiIteration:
+    def test_per_iteration_time_stable(self, harmony):
+        one = harmony.run(iterations=1).metrics
+        three = harmony.run(iterations=3).metrics
+        # Flush-separated iterations: the average equals a single one.
+        assert three.iteration_time == pytest.approx(
+            one.iteration_time, rel=0.02
+        )
+
+    def test_counters_reported_per_iteration(self, harmony):
+        one = harmony.run(iterations=1).metrics
+        four = harmony.run(iterations=4).metrics
+        assert four.global_swap_bytes == pytest.approx(
+            one.global_swap_bytes, rel=0.01
+        )
+        assert four.gpus[0].compute_busy == pytest.approx(
+            one.gpus[0].compute_busy, rel=0.01
+        )
+
+    def test_zero_iterations_rejected(self, harmony):
+        from repro.common.errors import SchedulingError
+
+        plan = harmony.plan()
+        from repro.hardware.server import SimulatedServer
+        from repro.runtime.executor import Executor
+        from repro.runtime.timemodel import TrueTimeModel
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        server = SimulatedServer(sim, harmony.server)
+        executor = Executor(
+            server,
+            TrueTimeModel(plan.decomposed, harmony.server.gpu,
+                          harmony.server.host, 2),
+        )
+        with pytest.raises(SchedulingError):
+            executor.run(plan.graph, iterations=0)
+
+    def test_throughput_uses_average(self, harmony):
+        report = harmony.run(iterations=2)
+        assert report.metrics.throughput == pytest.approx(
+            8 / report.metrics.iteration_time
+        )

@@ -1,0 +1,125 @@
+"""Section 3's analytical swap-volume example, verified mechanically.
+
+The paper derives, for a simplified homogeneous model and weight tensors
+only: DP Swap moves ``(4m+2) N |W|`` per iteration, Harmony DP ``3 N |W|``
+and Harmony PP ``3 |W|``.  These tests rebuild the same setting (uniform
+layers, m microbatches per GPU, N GPUs) and check the *generated
+schedules* reproduce those volumes -- the formulas are never hard-coded in
+the planners.
+"""
+
+import pytest
+
+from repro.core.config import Configuration, even_packs
+from repro.core.decomposer import Decomposer
+from repro.core.profiler import Profiler
+from repro.core.taskgraph import HarmonyGraphBuilder, ScheduleOptions
+from repro.core.types import TensorKind
+from repro.graph.graph import LayerGraph
+from repro.graph.layer import LayerSpec
+from repro.hardware.gpu import GpuSpec
+from repro.models.spec import ModelSpec
+
+N_GPUS = 4
+N_LAYERS = 8
+M_MICROBATCHES = 4  # per GPU
+
+
+@pytest.fixture(scope="module")
+def uniform_model():
+    layers = [
+        LayerSpec(
+            index=i, name=f"l{i}", kind="uniform", param_bytes=1_000_000,
+            flops_fwd_per_sample=1e9, act_in_bytes_per_sample=1000,
+            act_out_bytes_per_sample=1000,
+        )
+        for i in range(N_LAYERS)
+    ]
+    graph = LayerGraph.chain("uniform", layers)
+    return ModelSpec(name="uniform", graph=graph, optimizer="adam",
+                     sample_bytes=1000)
+
+
+@pytest.fixture(scope="module")
+def profiles(uniform_model):
+    gpu = GpuSpec(name="g", memory_bytes=16 * 2**20, peak_flops=1e12)
+    return Profiler(gpu).profile(Decomposer(0).decompose(uniform_model))
+
+
+def weight_swap_bytes(graph):
+    """Host-crossing weight-family traffic (W in + DW out + W out)."""
+    return sum(
+        m.nbytes for t in graph.tasks for _d, m in t.moves()
+        if m.tensor in (TensorKind.W, TensorKind.DW) and m.channel.via_host
+    )
+
+
+def harmony_graph(profiles, mode, minibatch, u, jit=False):
+    """One layer per pack, as in Figure 5.  jit-compute is disabled by
+    default because the paper's analytic example schedules every layer's
+    forward and backward separately (fusion would *save* one more weight
+    fetch than the formula credits)."""
+    packs = even_packs(N_LAYERS, N_LAYERS)
+    config = Configuration(u_f=u, packs_f=packs, u_b=u, packs_b=packs)
+    builder = HarmonyGraphBuilder(
+        profiles, N_GPUS, minibatch, ScheduleOptions(mode=mode, jit=jit)
+    )
+    return builder.build(config)
+
+
+class TestAnalyticExample:
+    def test_harmony_dp_is_3nw(self, profiles):
+        """Harmony DP: W in for forward + W in for backward + dW out,
+        once per GPU => 3 N |W|."""
+        total_w = profiles.total_param_bytes
+        graph = harmony_graph(profiles, "dp", minibatch=N_GPUS * M_MICROBATCHES, u=1)
+        measured = weight_swap_bytes(graph)
+        assert measured == pytest.approx(3 * N_GPUS * total_w, rel=0.02)
+
+    def test_harmony_pp_is_3w(self, profiles):
+        """Harmony PP: every layer handled by exactly one GPU => 3 |W|."""
+        total_w = profiles.total_param_bytes
+        graph = harmony_graph(profiles, "pp", minibatch=N_GPUS * M_MICROBATCHES, u=1)
+        measured = weight_swap_bytes(graph)
+        assert measured == pytest.approx(3 * total_w, rel=0.02)
+
+    def test_pp_dominates_dp_dominates_grouping_off(self, profiles):
+        """The ordering of Figure 5: PP < DP < DP-without-grouping."""
+        minibatch = N_GPUS * M_MICROBATCHES
+        pp = weight_swap_bytes(harmony_graph(profiles, "pp", minibatch, u=1))
+        dp = weight_swap_bytes(harmony_graph(profiles, "dp", minibatch, u=1))
+        packs = even_packs(N_LAYERS, N_LAYERS)
+        config = Configuration(u_f=1, packs_f=packs, u_b=1, packs_b=packs)
+        ungrouped = HarmonyGraphBuilder(
+            profiles, N_GPUS, minibatch,
+            ScheduleOptions(mode="dp", grouping=False),
+        ).build(config)
+        assert pp < dp < weight_swap_bytes(ungrouped)
+
+    def test_dp_swap_baseline_is_about_4m_plus_2(self, uniform_model):
+        """The DP Swap baseline thrashes weights (4m+2)N|W| when the GPU
+        cannot hold weights plus a microbatch's stash."""
+        from repro.baselines.dp_swap import DpSwapPlanner
+        from repro.hardware.host import HostSpec
+        from repro.hardware.interconnect import TopologySpec
+        from repro.hardware.server import ServerSpec
+
+        # Capacity just above the weights: the stash forces thrash.
+        gpu = GpuSpec(name="tiny", memory_bytes=8_600_000, peak_flops=1e12)
+        server = ServerSpec(
+            n_gpus=N_GPUS, gpu=gpu,
+            host=HostSpec(cores=4, memory_bytes=8 * 2**30),
+            topology=TopologySpec(n_gpus=N_GPUS, gpus_per_switch=4),
+        )
+        planner = DpSwapPlanner(
+            uniform_model, server, minibatch=N_GPUS * M_MICROBATCHES,
+            microbatch=1,
+        )
+        plan = planner.plan()
+        total_w = uniform_model.weight_bytes
+        measured = weight_swap_bytes(plan.graph)
+        analytic = (4 * M_MICROBATCHES + 2) * N_GPUS * total_w
+        # LRU effects keep it within ~40% of the idealized formula and far
+        # above Harmony DP's 3N|W|.
+        assert measured > 0.6 * analytic
+        assert measured > 4 * (3 * N_GPUS * total_w)

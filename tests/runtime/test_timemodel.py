@@ -1,0 +1,66 @@
+"""Tests for the ground-truth time model."""
+
+import pytest
+
+from repro.core.types import Task, TaskKind
+from repro.runtime.timemodel import TrueTimeModel
+
+
+@pytest.fixture
+def time_model(toy_decomposed, small_server):
+    return TrueTimeModel(toy_decomposed, small_server.gpu, small_server.host,
+                         n_gpus=small_server.n_gpus)
+
+
+def make_task(kind, first=1, last=3, fused=False, recompute=True,
+              on_cpu=False, flops=0.0):
+    return Task(tid=0, kind=kind, first_layer=first, last_layer=last,
+                device=0, microbatches=(2, 2), fused=fused,
+                recompute=recompute, on_cpu=on_cpu, compute_flops=flops)
+
+
+class TestMicrobatchTime:
+    def test_bwd_with_recompute_costs_fwd_plus_bwd(self, time_model):
+        plain = make_task(TaskKind.BWD, recompute=False)
+        remat = make_task(TaskKind.BWD, recompute=True)
+        fwd = make_task(TaskKind.FWD)
+        assert time_model.microbatch_time(remat, 2) == pytest.approx(
+            time_model.microbatch_time(plain, 2)
+            + time_model.microbatch_time(fwd, 2)
+        )
+
+    def test_fused_equals_recompute_cost(self, time_model):
+        fused = make_task(TaskKind.BWD, fused=True, recompute=False)
+        remat = make_task(TaskKind.BWD, fused=False, recompute=True)
+        assert time_model.microbatch_time(fused, 2) == pytest.approx(
+            time_model.microbatch_time(remat, 2)
+        )
+
+    def test_update_task_rejected_here(self, time_model):
+        with pytest.raises(ValueError):
+            time_model.microbatch_time(make_task(TaskKind.UPD), 1)
+
+
+class TestUpdateTime:
+    def test_cpu_update_uses_host_model(self, time_model, small_server):
+        task = make_task(TaskKind.UPD, on_cpu=True, flops=1e9)
+        cores = small_server.host.cores // small_server.n_gpus
+        assert time_model.update_time(task) == pytest.approx(
+            small_server.host.optimizer_time(1e9, cores)
+        )
+
+    def test_gpu_update_sums_layer_times(self, time_model):
+        task = make_task(TaskKind.UPD, on_cpu=False)
+        assert time_model.update_time(task) > 0
+
+    def test_non_update_rejected(self, time_model):
+        with pytest.raises(ValueError):
+            time_model.update_time(make_task(TaskKind.FWD))
+
+
+class TestTaskTotal:
+    def test_group_sums_microbatches(self, time_model):
+        task = make_task(TaskKind.FWD)
+        total = time_model.task_compute_time(task)
+        per_mb = time_model.microbatch_time(task, 2)
+        assert total == pytest.approx(2 * per_mb)

@@ -1,0 +1,230 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import AllOf, Resource, SimEvent, Simulator, Timeout
+
+
+class TestSimulatorBasics:
+    def test_starts_at_time_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_with_no_events_returns_zero(self, sim):
+        assert sim.run() == 0.0
+
+    def test_schedule_advances_clock(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_order_is_time_then_fifo(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(0.5, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+
+    def test_callbacks_can_schedule_more(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestEvents:
+    def test_event_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.fired
+
+    def test_succeed_fires_and_stores_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.fired
+        assert event.value == 42
+
+    def test_value_before_fire_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_on_pending_event(self, sim):
+        event = sim.event()
+        seen = []
+        event.add_callback(seen.append)
+        sim.schedule(3.0, event.succeed, "x")
+        sim.run()
+        assert seen == ["x"]
+
+    def test_callback_on_fired_event_runs_async(self, sim):
+        event = sim.event()
+        event.succeed("y")
+        seen = []
+        event.add_callback(seen.append)
+        assert seen == []  # deferred to the event loop
+        sim.run()
+        assert seen == ["y"]
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, sim):
+        timeout = sim.timeout(4.0)
+        sim.run()
+        assert timeout.fired
+        assert sim.now == 4.0
+
+    def test_zero_timeout_allowed(self, sim):
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.fired
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Timeout(sim, -0.1)
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self, sim):
+        first, second = sim.timeout(1.0), sim.timeout(3.0)
+        gate = sim.all_of([first, second])
+        sim.run()
+        assert gate.fired
+        assert sim.now == 3.0
+
+    def test_empty_fires_immediately(self, sim):
+        gate = AllOf(sim, [])
+        sim.run()
+        assert gate.fired
+        assert gate.value == []
+
+    def test_value_preserves_order(self, sim):
+        a, b = sim.event(), sim.event()
+        gate = sim.all_of([a, b])
+        sim.schedule(1.0, b.succeed, "b")
+        sim.schedule(2.0, a.succeed, "a")
+        sim.run()
+        assert gate.value == ["a", "b"]
+
+    def test_already_fired_members(self, sim):
+        a = sim.event()
+        a.succeed(1)
+        gate = sim.all_of([a])
+        sim.run()
+        assert gate.fired
+
+
+class TestProcess:
+    def test_process_runs_to_completion(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return "done"
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.fired
+        assert proc.value == "done"
+        assert sim.now == 3.0
+
+    def test_processes_interleave(self, sim):
+        trace = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+
+        sim.process(worker("slow", 2.0))
+        sim.process(worker("fast", 0.5))
+        sim.run()
+        assert trace == [("fast", 0.5), ("fast", 1.0), ("slow", 2.0), ("slow", 4.0)]
+
+    def test_process_can_wait_on_process(self, sim):
+        def inner():
+            yield sim.timeout(1.5)
+            return 7
+
+        def outer():
+            value = yield sim.process(inner())
+            return value * 2
+
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.value == 14
+
+    def test_yielding_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_waiting_shared_event(self, sim):
+        gate = sim.event()
+        woken = []
+
+        def waiter(name):
+            yield gate
+            woken.append(name)
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(1.0, gate.succeed)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        first, second, third = res.request(), res.request(), res.request()
+        assert first.fired and second.fired
+        assert not third.fired
+
+    def test_release_wakes_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        second = res.request()
+        third = res.request()
+        res.release()
+        assert second.fired
+        assert not third.fired
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_in_use_tracking(self, sim):
+        res = Resource(sim, capacity=3)
+        res.request()
+        res.request()
+        assert res.in_use == 2
+        res.release()
+        assert res.in_use == 1

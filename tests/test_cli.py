@@ -1,0 +1,36 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_plan_prints_config(self, capsys):
+        assert main(["plan", "toy-transformer", "--minibatch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "U_F=" in out
+        assert "P_F:" in out
+
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "toy-transformer", "--minibatch", "8",
+                     "--mode", "dp"]) == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "fig01", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "AlexNet" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "gpt5"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_every_experiment_registered(self):
+        # The registry covers all evaluation figures and tables.
+        assert {"fig09", "fig13", "fig15", "tab01", "tab04"} <= set(EXPERIMENTS)

@@ -1,0 +1,94 @@
+"""Tests for shared helpers: units, errors, metrics, model spec."""
+
+import pytest
+
+from repro.common.errors import (
+    GpuOutOfMemoryError,
+    HostOutOfMemoryError,
+    InfeasibleConfigError,
+    ReproError,
+)
+from repro.common.units import GiB, KiB, MiB, fmt_bytes, fmt_time
+from repro.runtime.metrics import GpuMetrics, RunMetrics
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_fmt_bytes_picks_suffix(self):
+        assert fmt_bytes(3 * GiB) == "3.00 GiB"
+        assert fmt_bytes(5 * MiB) == "5.00 MiB"
+        assert fmt_bytes(100) == "100 B"
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2 * KiB) == "-2.00 KiB"
+
+    def test_fmt_time_ranges(self):
+        assert fmt_time(1.5) == "1.5 s"
+        assert fmt_time(0.0123).endswith("ms")
+        assert fmt_time(3e-6).endswith("us")
+        assert fmt_time(2e-9).endswith("ns")
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (GpuOutOfMemoryError, HostOutOfMemoryError,
+                    InfeasibleConfigError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise GpuOutOfMemoryError("boom")
+
+
+class TestRunMetrics:
+    def _metrics(self):
+        return RunMetrics(
+            mode="test", minibatch=10, iteration_time=2.0,
+            gpus=[
+                GpuMetrics(swap_in_bytes=100, swap_out_bytes=50,
+                           p2p_in_bytes=25, compute_busy=1.5),
+                GpuMetrics(swap_in_bytes=200, swap_out_bytes=0,
+                           p2p_in_bytes=75, compute_busy=2.0),
+            ],
+        )
+
+    def test_throughput(self):
+        assert self._metrics().throughput == pytest.approx(5.0)
+
+    def test_zero_time_throughput(self):
+        metrics = RunMetrics(mode="t", minibatch=1, iteration_time=0.0)
+        assert metrics.throughput == 0.0
+
+    def test_global_aggregates(self):
+        metrics = self._metrics()
+        assert metrics.global_swap_bytes == 350
+        assert metrics.global_p2p_bytes == 100
+
+    def test_idle_fraction(self):
+        metrics = self._metrics()
+        assert metrics.idle_fraction(0) == pytest.approx(0.25)
+        assert metrics.idle_fraction(1) == pytest.approx(0.0)
+
+    def test_describe_lists_gpus(self):
+        text = self._metrics().describe()
+        assert "gpu0" in text and "gpu1" in text
+
+
+class TestModelSpec:
+    def test_unknown_optimizer_rejected(self, toy_model):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(toy_model, optimizer="lion")
+
+    def test_summary_mentions_state(self, toy_model):
+        assert "GiB" in toy_model.summary()
+
+    def test_optimizer_slots(self, toy_model):
+        assert toy_model.optimizer == "adam"
+        assert toy_model.optimizer_slots == 2
+        assert toy_model.model_state_bytes == toy_model.weight_bytes * 4

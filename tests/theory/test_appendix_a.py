@@ -1,0 +1,120 @@
+"""Tests for the Appendix A machinery: makespan + Partition reduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SchedulingError
+from repro.theory.makespan import (
+    LayerItem,
+    SchedulingInstance,
+    brute_force_optimum,
+    contiguous_partitions,
+    makespan,
+    total_processing_time,
+)
+from repro.theory.partition import (
+    exact_partition,
+    partition_reduction,
+    target_makespan,
+    witness_packing,
+)
+
+
+def instance(times, sizes=None, b=3, g=2, m=100.0):
+    sizes = sizes or [1.0] * len(times)
+    return SchedulingInstance(
+        layers=tuple(LayerItem(t, s) for t, s in zip(times, sizes)),
+        n_microbatches=b, n_gpus=g, memory=m,
+    )
+
+
+class TestMakespan:
+    def test_single_pack_serializes_microbatches(self):
+        inst = instance([1.0, 2.0], b=3, g=2)
+        assert makespan(inst, [[0, 1]]) == pytest.approx(9.0)
+
+    def test_two_packs_pipeline(self):
+        inst = instance([1.0, 1.0], b=3, g=2)
+        # Pack 0 on GPU 0, pack 1 on GPU 1: classic 2-stage pipeline.
+        assert makespan(inst, [[0], [1]]) == pytest.approx(4.0)
+
+    def test_wraparound_reuses_gpus(self):
+        inst = instance([1.0, 1.0, 1.0], b=1, g=2)
+        # Three packs on two GPUs: pack 2 wraps to GPU 0.
+        assert makespan(inst, [[0], [1], [2]]) == pytest.approx(3.0)
+
+    def test_memory_constraint_enforced(self):
+        inst = instance([1.0, 1.0], sizes=[3.0, 3.0], m=5.0)
+        with pytest.raises(SchedulingError):
+            makespan(inst, [[0, 1]])
+
+    def test_lower_bound_total_work_over_gpus(self):
+        inst = instance([2.0, 1.0, 3.0], b=2, g=2)
+        lower = total_processing_time(inst) / 2
+        best, _ = brute_force_optimum(inst)
+        assert best >= lower - 1e-12
+
+    def test_contiguous_partition_count(self):
+        assert sum(1 for _ in contiguous_partitions(5)) == 2**4
+
+    def test_brute_force_at_least_one_feasible(self):
+        inst = instance([1.0], m=10.0)
+        cost, packs = brute_force_optimum(inst)
+        assert packs == [[0]]
+
+    def test_degenerate_instance_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulingInstance(layers=(), n_microbatches=1, n_gpus=1, memory=1)
+
+
+class TestReduction:
+    def test_table2_layout(self):
+        inst = partition_reduction([6, 2, 4])
+        assert inst.n_layers == 3 * 3 + 4
+        assert inst.memory == 7.0
+        assert inst.n_gpus == 2
+        assert inst.n_microbatches == 3
+        # Bookends are heavy singletons of size 6.
+        assert inst.layers[0].size == 6
+        assert inst.layers[-1].size == 6
+        # The a_i layers carry the Partition values as times, size 2.
+        assert inst.layers[3].time == 6.0
+        assert inst.layers[3].size == 2
+
+    def test_yes_witness_attains_target(self):
+        numbers = [6, 2, 4]
+        side = exact_partition(numbers)
+        assert side is not None
+        inst = partition_reduction(numbers)
+        packs = witness_packing(numbers, side)
+        assert makespan(inst, packs) == pytest.approx(target_makespan(numbers))
+
+    def test_no_instance_exceeds_target(self):
+        numbers = [1, 1, 1]  # odd sum: NO instance
+        inst = partition_reduction(numbers)
+        best, _ = brute_force_optimum(inst)
+        assert best > target_makespan(numbers) + 1e-9
+
+    def test_bookends_force_singletons(self):
+        """Memory 7 forbids a heavy bookend (6) from joining anything."""
+        inst = partition_reduction([2, 2])
+        assert inst.layers[0].size + inst.layers[1].size > inst.memory
+
+    def test_invalid_numbers_rejected(self):
+        with pytest.raises(SchedulingError):
+            partition_reduction([])
+        with pytest.raises(SchedulingError):
+            partition_reduction([3, -1])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(1, 6), min_size=2, max_size=4))
+    def test_reduction_correct_both_directions(self, numbers):
+        """Proposition A.2 on random small instances: the optimum attains
+        T iff the Partition instance is a YES instance."""
+        inst = partition_reduction(numbers)
+        target = target_makespan(numbers)
+        optimum, _ = brute_force_optimum(inst)
+        is_yes = exact_partition(numbers) is not None
+        attains = abs(optimum - target) < 1e-9
+        assert attains == is_yes
+        assert optimum >= target - 1e-9  # T is a valid lower bound
