@@ -1,0 +1,24 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: check lint typecheck test analyze
+
+# Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
+# themselves (with a message) when ruff/mypy are not installed.
+check:
+	bash scripts/check.sh
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed, skipping lint"; fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/analysis; \
+	else echo "mypy not installed, skipping typecheck"; fi
+
+test:
+	python -m pytest -x -q tests/
+
+# Convenience: statically verify the headline schedule.
+analyze:
+	python -m repro.cli check gpt2 --minibatch 64 --mode pp

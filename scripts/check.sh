@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo-wide gate: lint + typecheck + tier-1 tests.
+#
+# ruff and mypy are optional in minimal environments (no network, no
+# installs); when a tool is absent we say so and skip that leg rather
+# than fail, so the test leg always runs.
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+failed=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || failed=1
+else
+    echo "== ruff == not installed, skipping lint"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy src/repro/analysis || failed=1
+else
+    echo "== mypy == not installed, skipping typecheck"
+fi
+
+echo "== pytest (tier 1) =="
+python -m pytest -x -q tests/ || failed=1
+
+exit "$failed"

@@ -1,0 +1,120 @@
+"""Ablation-consistency lint (guards the Figure 13 experiments).
+
+A graph built with an optimization switched *off* must not contain the
+constructs that switch is supposed to eliminate -- otherwise the ablation
+measures a graph that silently kept the optimization:
+
+- ``grouping`` off: every task runs a single microbatch;
+- ``jit`` off: no fused (jit-compute) tasks, and every weight update is
+  scheduled after the last backward task;
+- ``p2p`` off: no move rides ``Channel.P2P``;
+- ``offload_optimizer``: on means updates run on the CPU and optimizer
+  state never crosses PCIe; off means updates run on the GPU.
+
+Requires the :class:`~repro.core.taskgraph.ScheduleOptions` the graph
+was (supposedly) built with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import Channel, TaskKind, TensorKind
+
+
+@register
+class AblationPass(AnalysisPass):
+    name = "ablation"
+    rules = (
+        "ablation/grouping",
+        "ablation/jit",
+        "ablation/p2p",
+        "ablation/offload",
+    )
+
+    def skip_reason(self, ctx: AnalysisContext) -> Optional[str]:
+        if ctx.options is None:
+            return "no schedule options"
+        return None
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        assert ctx.options is not None
+        graph, opts = ctx.graph, ctx.options
+
+        if not opts.grouping:
+            for task in graph.tasks:
+                if task.kind is not TaskKind.UPD and len(task.microbatches) > 1:
+                    yield Diagnostic(
+                        "ablation/grouping", Severity.ERROR,
+                        f"grouping is off but task {task_ref(task.tid)} "
+                        f"groups {len(task.microbatches)} microbatches",
+                        task=task.tid, device=task.device,
+                    )
+
+        if not opts.jit:
+            for task in graph.tasks:
+                if task.fused:
+                    yield Diagnostic(
+                        "ablation/jit", Severity.ERROR,
+                        f"jit is off but task {task_ref(task.tid)} is a "
+                        "fused jit-compute task",
+                        task=task.tid, device=task.device,
+                    )
+            bwd_tids = [
+                t.tid for t in graph.tasks if t.kind is TaskKind.BWD
+            ]
+            upd_tids = [
+                t.tid for t in graph.tasks if t.kind is TaskKind.UPD
+            ]
+            if bwd_tids and upd_tids and min(upd_tids) < max(bwd_tids):
+                tid = min(upd_tids)
+                yield Diagnostic(
+                    "ablation/jit", Severity.ERROR,
+                    f"jit is off but update {task_ref(tid)} is scheduled "
+                    "before the last backward task; updates must run at "
+                    "the end of the iteration",
+                    task=tid, device=graph.tasks[tid].device,
+                )
+
+        if not opts.p2p:
+            for task in graph.tasks:
+                for _direction, move in task.moves():
+                    if move.channel is Channel.P2P:
+                        yield Diagnostic(
+                            "ablation/p2p", Severity.ERROR,
+                            f"p2p is off but task {task_ref(task.tid)} "
+                            "moves a tensor over Channel.P2P",
+                            task=task.tid, device=task.device,
+                            move=move.label,
+                        )
+
+        for task in graph.of_kind(TaskKind.UPD):
+            if opts.offload_optimizer and not task.on_cpu:
+                yield Diagnostic(
+                    "ablation/offload", Severity.ERROR,
+                    f"optimizer offload is on but update "
+                    f"{task_ref(task.tid)} runs on gpu{task.device}",
+                    task=task.tid, device=task.device,
+                )
+            elif not opts.offload_optimizer and task.on_cpu:
+                yield Diagnostic(
+                    "ablation/offload", Severity.ERROR,
+                    f"optimizer offload is off but update "
+                    f"{task_ref(task.tid)} runs on the CPU",
+                    task=task.tid, device=task.device,
+                )
+        if opts.offload_optimizer:
+            for task in graph.tasks:
+                for _direction, move in task.moves():
+                    if move.tensor is TensorKind.K and move.nbytes > 0:
+                        yield Diagnostic(
+                            "ablation/offload", Severity.ERROR,
+                            f"optimizer offload is on but task "
+                            f"{task_ref(task.tid)} moves optimizer state "
+                            "across PCIe",
+                            task=task.tid, device=task.device,
+                            move=move.label,
+                        )

@@ -1,0 +1,86 @@
+"""Entry points of the static schedule analyzer.
+
+:func:`analyze` runs every registered pass (or a chosen subset) over a
+:class:`~repro.core.types.TaskGraph` and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`; :func:`check` is the
+raising variant used by the runtime gates.  :func:`verify_graph` is the
+server-free structural subset behind ``TaskGraph.validate()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+# Importing the pass modules registers them; this import order is the
+# execution (and report) order: invariants first, then the semantic
+# passes that assume them.
+from repro.analysis import structure as _structure  # noqa: F401  isort:skip
+from repro.analysis import deadlock as _deadlock    # noqa: F401  isort:skip
+from repro.analysis import dataflow as _dataflow    # noqa: F401  isort:skip
+from repro.analysis import capacity as _capacity    # noqa: F401  isort:skip
+from repro.analysis import channels as _channels    # noqa: F401  isort:skip
+from repro.analysis import ablation as _ablation    # noqa: F401  isort:skip
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import AnalysisReport, PassResult
+from repro.analysis.passes import get_pass, registered_passes
+from repro.core.taskgraph import ScheduleOptions
+from repro.core.types import TaskGraph
+from repro.hardware.server import ServerSpec
+
+#: Passes that need nothing beyond the graph itself; the subset
+#: ``TaskGraph.validate()`` delegates to.
+STRUCTURAL_PASSES: tuple[str, ...] = (
+    "structure",
+    "deadlock",
+    "dataflow",
+    "channel",
+)
+
+
+def analyze(
+    graph: TaskGraph,
+    *,
+    server: Optional[ServerSpec] = None,
+    options: Optional[ScheduleOptions] = None,
+    host_state_bytes: Optional[int] = None,
+    prefetch: bool = True,
+    passes: Optional[Sequence[str]] = None,
+    suppress: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run the analyzer and return the full report (never raises)."""
+    ctx = AnalysisContext(
+        graph,
+        server=server,
+        options=options,
+        host_state_bytes=host_state_bytes,
+        prefetch=prefetch,
+    )
+    names = list(passes) if passes is not None else list(registered_passes())
+    muted = frozenset(suppress)
+    report = AnalysisReport(graph_mode=graph.mode, n_tasks=len(graph.tasks))
+    for name in names:
+        instance = get_pass(name)()
+        reason = instance.skip_reason(ctx)
+        if reason is not None:
+            report.results.append(PassResult(name, skipped=reason))
+            continue
+        result = PassResult(name)
+        for diagnostic in instance.run(ctx):
+            if diagnostic.rule in muted:
+                result.suppressed += 1
+            else:
+                result.diagnostics.append(diagnostic)
+        report.results.append(result)
+    return report
+
+
+def check(graph: TaskGraph, **kwargs) -> AnalysisReport:
+    """Analyze and raise :class:`ScheduleAnalysisError` on any error."""
+    report = analyze(graph, **kwargs)
+    report.raise_if_errors()
+    return report
+
+
+def verify_graph(graph: TaskGraph) -> AnalysisReport:
+    """Structural certification only (no machine or schedule context)."""
+    return check(graph, passes=STRUCTURAL_PASSES)

@@ -1,0 +1,88 @@
+"""Memory-capacity certification.
+
+Bounds the peak working set the Runtime can reach along *any*
+linearization consistent with the dependencies, and compares it against
+the hardware:
+
+- per GPU: the Executor grants at most ``fetch_slots`` concurrent task
+  windows per device (two with prefetch double-buffering, one without)
+  and holds each task's planned ``resident_bytes`` from slot grant to
+  completion.  The peak is therefore bounded by the largest sum over any
+  ``fetch_slots`` consecutive tasks in device order -- independent of
+  event timing;
+- host: pinned model state plus every live checkpoint stash must fit CPU
+  memory (the bound that stops ZeRO-Infinity at 40B parameters in the
+  paper's Figure 15).
+
+Requires a server spec; the host bound additionally needs the caller to
+say how much host state the run pins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import TensorKind
+
+
+@register
+class CapacityPass(AnalysisPass):
+    name = "capacity"
+    rules = ("capacity/gpu", "capacity/host")
+
+    def skip_reason(self, ctx: AnalysisContext) -> Optional[str]:
+        if ctx.server is None:
+            return "no server spec"
+        return None
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        assert ctx.server is not None
+        capacity = ctx.server.gpu.memory_bytes
+        window = ctx.fetch_slots
+        for device, tasks in enumerate(ctx.device_order()):
+            resident = [
+                0 if task.on_cpu else task.resident_bytes for task in tasks
+            ]
+            peak, at = 0, 0
+            for i in range(len(tasks)):
+                bound = sum(resident[i:i + window])
+                if bound > peak:
+                    peak, at = bound, i
+            if peak > capacity:
+                window_tasks = tasks[at:at + window]
+                names = ", ".join(
+                    f"{task_ref(t.tid)} ({t.label or t.kind.value})"
+                    for t in window_tasks
+                )
+                yield Diagnostic(
+                    "capacity/gpu", Severity.ERROR,
+                    f"gpu{device} peak resident bound {peak} bytes "
+                    f"exceeds capacity {capacity} bytes "
+                    f"(worst window: {names})",
+                    task=window_tasks[0].tid, device=device,
+                    hint="repack with a smaller capacity fraction or a "
+                         "smaller microbatch",
+                )
+
+        if ctx.host_state_bytes is not None:
+            stash = sum(
+                move.nbytes
+                for task in ctx.graph.tasks
+                for direction, move in task.moves()
+                if direction == "out" and move.tensor is TensorKind.CKPT
+            )
+            peak = ctx.host_state_bytes + stash
+            host_capacity = ctx.server.host.memory_bytes
+            if peak > host_capacity:
+                yield Diagnostic(
+                    "capacity/host", Severity.ERROR,
+                    f"host working set {peak / 2**30:.1f} GiB (state "
+                    f"{ctx.host_state_bytes / 2**30:.1f} GiB + stash "
+                    f"{stash / 2**30:.1f} GiB) exceeds CPU memory "
+                    f"{host_capacity / 2**30:.1f} GiB",
+                    hint="reduce the checkpoint stash (more recompute) "
+                         "or the minibatch",
+                )

@@ -1,0 +1,130 @@
+"""Channel / topology legality.
+
+Every move must ride a transport that physically exists:
+
+- ``channel/bad-peer``: a P2P move naming a GPU outside the graph (or,
+  when a server spec is supplied, outside the PCIe tree) -- there is no
+  p2p path to pull from;
+- ``channel/p2p-self``: a P2P move whose resolved source is the
+  consuming GPU itself; the "transfer" would be free and the planner
+  almost certainly meant ``Channel.LOCAL``;
+- ``channel/cpu-p2p``: a CPU-offloaded task cannot issue peer-to-peer
+  pulls; host-side consumers bounce through the upstream link;
+- ``channel/local-cross-device``: a ``LOCAL`` move with bytes sourced
+  from a task on a *different* GPU -- the data cannot already be
+  resident locally;
+- ``channel/topology-mismatch``: the graph binds more devices than the
+  server's PCIe tree wires up.
+
+When a server spec is present the pass also walks each P2P pair through
+:meth:`~repro.hardware.interconnect.PcieTree`-equivalent index checks,
+so every host bounce and p2p hop corresponds to real links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import Channel, Move, Task
+
+# moves whose bytes traverse the host's upstream PCIe links
+_HOST_CHANNELS = (Channel.SWAP, Channel.MSG, Channel.SHM)
+
+
+@register
+class ChannelPass(AnalysisPass):
+    name = "channel"
+    rules = (
+        "channel/bad-peer",
+        "channel/p2p-self",
+        "channel/cpu-p2p",
+        "channel/local-cross-device",
+        "channel/topology-mismatch",
+    )
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        graph = ctx.graph
+        n_gpus = graph.n_devices
+        if ctx.server is not None:
+            topology = ctx.server.topology
+            if topology.n_gpus < graph.n_devices:
+                yield Diagnostic(
+                    "channel/topology-mismatch", Severity.ERROR,
+                    f"graph binds {graph.n_devices} devices but the PCIe "
+                    f"tree wires {topology.n_gpus} GPUs",
+                )
+            n_gpus = min(n_gpus, topology.n_gpus)
+
+        for task in graph.tasks:
+            for move in task.ins:
+                if move.channel is Channel.P2P:
+                    yield from self._check_p2p(graph, task, move, n_gpus)
+                elif move.channel is Channel.LOCAL:
+                    yield from self._check_local(graph, task, move)
+            for move in task.outs:
+                if move.channel is Channel.P2P and move.peer is not None:
+                    yield from self._check_p2p(graph, task, move, n_gpus)
+
+    # -- rules -------------------------------------------------------------------
+
+    def _check_p2p(
+        self, graph, task: Task, move: Move, n_gpus: int
+    ) -> Iterator[Diagnostic]:
+        if task.on_cpu and move.nbytes > 0:
+            yield Diagnostic(
+                "channel/cpu-p2p", Severity.ERROR,
+                f"CPU-offloaded task {task_ref(task.tid)} cannot pull "
+                "over a GPU p2p path",
+                task=task.tid, device=task.device, move=move.label,
+                hint="route host-side consumers over SWAP/MSG",
+            )
+        src = self._source_device(graph, move)
+        if src is None:
+            # Dangling src_task with no peer: structure pass reports it.
+            return
+        if not 0 <= src < n_gpus:
+            yield Diagnostic(
+                "channel/bad-peer", Severity.ERROR,
+                f"task {task_ref(task.tid)} pulls p2p from gpu{src}, "
+                f"which has no p2p path in a {n_gpus}-GPU tree",
+                task=task.tid, device=task.device, move=move.label,
+            )
+        elif src == task.device and move.nbytes > 0:
+            yield Diagnostic(
+                "channel/p2p-self", Severity.WARNING,
+                f"task {task_ref(task.tid)} pulls p2p from its own "
+                f"gpu{src}; the transfer is modeled as free",
+                task=task.tid, device=task.device, move=move.label,
+                hint="use Channel.LOCAL for same-GPU data",
+            )
+
+    def _check_local(
+        self, graph, task: Task, move: Move
+    ) -> Iterator[Diagnostic]:
+        if move.nbytes == 0 or move.src_task is None:
+            return
+        if not 0 <= move.src_task < len(graph.tasks):
+            return
+        producer = graph.tasks[move.src_task]
+        if producer.device != task.device:
+            yield Diagnostic(
+                "channel/local-cross-device", Severity.ERROR,
+                f"task {task_ref(task.tid)} on gpu{task.device} marks "
+                f"{move.nbytes} bytes from {task_ref(producer.tid)} on "
+                f"gpu{producer.device} as LOCAL; cross-GPU data cannot "
+                "already be resident",
+                task=task.tid, device=task.device, move=move.label,
+                hint="use Channel.P2P (or a host bounce) for cross-GPU "
+                     "tensors",
+            )
+
+    @staticmethod
+    def _source_device(graph, move: Move) -> Optional[int]:
+        if move.peer is not None:
+            return move.peer
+        if move.src_task is not None and 0 <= move.src_task < len(graph.tasks):
+            return graph.tasks[move.src_task].device
+        return None

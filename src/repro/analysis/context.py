@@ -1,0 +1,57 @@
+"""The bundle of facts an analysis pass may consult.
+
+Only the graph is mandatory.  Passes that need machine context (capacity
+certification, topology legality) or scheduling context (the ablation
+lint) declare it and are skipped -- with an explicit reason in the report
+-- when the caller cannot supply it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.taskgraph import ScheduleOptions
+from repro.core.types import Task, TaskGraph
+from repro.hardware.server import ServerSpec
+
+
+@dataclass
+class AnalysisContext:
+    """Inputs to one analyzer invocation."""
+
+    graph: TaskGraph
+    server: Optional[ServerSpec] = None
+    options: Optional[ScheduleOptions] = None
+    # Host-resident model state + input buffers, for host-capacity
+    # certification (mirrors Executor's host working-set bound).
+    host_state_bytes: Optional[int] = None
+    # Whether the Runtime will run with prefetch double-buffering; bounds
+    # how many tasks hold GPU residency concurrently per device.
+    prefetch: bool = True
+
+    _per_device: Optional[list[list[Task]]] = field(
+        default=None, init=False, repr=False
+    )
+
+    @property
+    def fetch_slots(self) -> int:
+        """Concurrent per-device task windows (Executor's slot capacity)."""
+        return 2 if self.prefetch else 1
+
+    def device_order(self) -> list[list[Task]]:
+        """Tasks per device in issue order, cached across passes.
+
+        Falls back to bucketing by ``task.device`` directly when the graph
+        is structurally broken (non-dense tids), so later passes can still
+        run and report their own findings.
+        """
+        if self._per_device is None:
+            buckets: list[list[Task]] = [
+                [] for _ in range(self.graph.n_devices)
+            ]
+            for task in self.graph.tasks:
+                if 0 <= task.device < self.graph.n_devices:
+                    buckets[task.device].append(task)
+            self._per_device = buckets
+        return self._per_device

@@ -1,0 +1,145 @@
+"""Tensor dataflow safety, by abstract interpretation of the moves.
+
+Instead of running the simulator, walk the declared moves and check that
+every consumed tensor can actually exist when it is fetched:
+
+- ``dataflow/wrong-producer``: an in-move names a producer task whose
+  kind cannot generate that tensor family (e.g. a weight update producing
+  an activation);
+- ``dataflow/use-before-produce``: a host-staged fetch (``Channel.SWAP``
+  with a ``src_task``) whose producer never wrote that tensor family back
+  to host -- the Runtime would wait on ``outs_flushed`` and then read
+  bytes nobody staged;
+- ``dataflow/double-stash``: one task emits the same (tensor, label)
+  output twice, double-writing (and later double-freeing) the stash slot;
+- ``dataflow/unaccounted-resident``: a GPU task fetches state across
+  PCIe but declares no planned residency, so the capacity certification
+  under-counts it (warning).
+
+Tensor kinds are compared by *family* -- a producer's ``Y`` satisfies a
+consumer's ``X`` (the same bytes seen from both ends of the chain), and
+``DX``/``DY`` pair the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import Channel, Task, TaskKind, TensorKind
+
+_FAMILY = {
+    TensorKind.X: "activation",
+    TensorKind.Y: "activation",
+    TensorKind.DX: "activation-grad",
+    TensorKind.DY: "activation-grad",
+    TensorKind.CKPT: "checkpoint",
+    TensorKind.W: "weights",
+    TensorKind.DW: "gradients",
+    TensorKind.K: "optimizer-state",
+}
+
+_FWD_FAMILIES = {"activation", "checkpoint"}
+_BWD_FAMILIES = {"activation-grad", "gradients"}
+_UPD_FAMILIES = {"weights", "optimizer-state"}
+
+
+def _producible(task: Task) -> set[str]:
+    """Tensor families ``task`` can generate."""
+    if task.kind is TaskKind.FWD:
+        return set(_FWD_FAMILIES)
+    if task.kind is TaskKind.BWD:
+        produced = set(_BWD_FAMILIES)
+        if task.fused:        # jit-compute: runs its forward pass too
+            produced |= _FWD_FAMILIES
+        return produced
+    return set(_UPD_FAMILIES)
+
+
+@register
+class DataflowPass(AnalysisPass):
+    name = "dataflow"
+    rules = (
+        "dataflow/wrong-producer",
+        "dataflow/use-before-produce",
+        "dataflow/double-stash",
+        "dataflow/unaccounted-resident",
+    )
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        graph = ctx.graph
+        n_tasks = len(graph.tasks)
+        for task in graph.tasks:
+            for move in task.ins:
+                if move.src_task is None or move.nbytes == 0:
+                    continue
+                if not 0 <= move.src_task < n_tasks:
+                    continue  # structure pass reports dangling sources
+                producer = graph.tasks[move.src_task]
+                family = _FAMILY[move.tensor]
+                if family not in _producible(producer):
+                    yield Diagnostic(
+                        "dataflow/wrong-producer", Severity.ERROR,
+                        f"task {task_ref(task.tid)} consumes {family} "
+                        f"from {producer.kind.value} task "
+                        f"{task_ref(producer.tid)}, which cannot "
+                        f"produce it",
+                        task=task.tid, device=task.device, move=move.label,
+                    )
+                elif move.channel is Channel.SWAP and not _staged(
+                    producer, family
+                ):
+                    yield Diagnostic(
+                        "dataflow/use-before-produce", Severity.ERROR,
+                        f"task {task_ref(task.tid)} swaps in {family} "
+                        f"stashed by {task_ref(producer.tid)}, but "
+                        f"{task_ref(producer.tid)} never writes that "
+                        "tensor back to host",
+                        task=task.tid, device=task.device, move=move.label,
+                        hint="add the matching host-channel out-move on "
+                             "the producer (or fetch over a streaming "
+                             "channel)",
+                    )
+
+            seen: set[tuple[TensorKind, str]] = set()
+            for move in task.outs:
+                if move.nbytes == 0:
+                    continue
+                key = (move.tensor, move.label)
+                if key in seen:
+                    yield Diagnostic(
+                        "dataflow/double-stash", Severity.ERROR,
+                        f"task {task_ref(task.tid)} stashes "
+                        f"{move.tensor.value} {move.label!r} twice; the "
+                        "second flush double-writes (and later "
+                        "double-frees) the stash slot",
+                        task=task.tid, device=task.device, move=move.label,
+                    )
+                seen.add(key)
+
+            fetched = sum(
+                move.nbytes for move in task.ins
+                if move.channel.crosses_pcie
+            )
+            if not task.on_cpu and fetched > 0 and task.resident_bytes == 0:
+                yield Diagnostic(
+                    "dataflow/unaccounted-resident", Severity.WARNING,
+                    f"task {task_ref(task.tid)} fetches {fetched} bytes "
+                    "onto the GPU but plans zero resident bytes; the "
+                    "fetched state leaks out of the capacity bound",
+                    task=task.tid, device=task.device,
+                    hint="set Task.resident_bytes to the planned working "
+                         "set",
+                )
+
+
+def _staged(producer: Task, family: str) -> bool:
+    """Did ``producer`` write this tensor family back to host?"""
+    return any(
+        move.channel.via_host
+        and move.nbytes > 0
+        and _FAMILY[move.tensor] == family
+        for move in producer.outs
+    )

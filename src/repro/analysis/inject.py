@@ -1,0 +1,133 @@
+"""Seeded-defect injectors, for exercising the analyzer end to end.
+
+Each injector corrupts a freshly built (and previously safe) task graph
+with exactly one class of bug and names the rule that must catch it.  The
+CLI's ``check --inject`` flag and the adversarial tests drive these, so a
+regression that silences a rule is caught by an exact-id assertion rather
+than by a hand-maintained fixture graph.
+
+An injector mutates the graph in place and returns
+``(options, expected_rule)`` -- options may differ from the input when
+the defect is an ablation inconsistency rather than a graph edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.analysis.dataflow import _FAMILY, _producible
+from repro.core.taskgraph import ScheduleOptions
+from repro.core.types import Channel, Move, Task, TaskGraph, TensorKind
+
+_REPRESENTATIVE = {
+    "activation": TensorKind.Y,
+    "activation-grad": TensorKind.DY,
+    "checkpoint": TensorKind.CKPT,
+    "weights": TensorKind.W,
+    "gradients": TensorKind.DW,
+    "optimizer-state": TensorKind.K,
+}
+
+Injector = Callable[[TaskGraph, ScheduleOptions], tuple[ScheduleOptions, str]]
+
+
+def _producible_tensor(task: Task) -> TensorKind:
+    """A tensor kind ``task`` can legally produce."""
+    return _REPRESENTATIVE[sorted(_producible(task))[0]]
+
+
+def inject_cycle(
+    graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Make an early task wait on a later one queued behind it."""
+    early = next(t for t in graph.tasks if not t.on_cpu)
+    late = next(
+        t for t in graph.tasks
+        if t.device == early.device and t.tid > early.tid and not t.on_cpu
+    )
+    early.ins.append(Move(
+        _producible_tensor(late), 1, Channel.MSG,
+        src_task=late.tid, label="injected-backward-dep",
+    ))
+    return options, "deadlock/cycle"
+
+
+def inject_use_before_produce(
+    graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Swap in a tensor family its producer never staged on the host."""
+    for producer in graph.tasks:
+        if producer.tid == len(graph.tasks) - 1:
+            continue  # the consumer must come later in program order
+        staged = {
+            _FAMILY[move.tensor]
+            for move in producer.outs
+            if move.channel.via_host and move.nbytes > 0
+        }
+        unstaged = sorted(_producible(producer) - staged)
+        if unstaged:
+            consumer = graph.tasks[-1]
+            consumer.ins.append(Move(
+                _REPRESENTATIVE[unstaged[0]], 1, Channel.SWAP,
+                src_task=producer.tid, label="injected-phantom-stash",
+            ))
+            return options, "dataflow/use-before-produce"
+    raise RuntimeError("every task stages everything it can produce")
+
+
+def inject_over_capacity(
+    graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Inflate one task's planned working set past any real GPU."""
+    task = next(t for t in graph.tasks if not t.on_cpu)
+    task.resident_bytes = 1 << 50  # 1 PiB
+    return options, "capacity/gpu"
+
+
+def inject_illegal_p2p(
+    graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Pull over a p2p path from a GPU the PCIe tree does not wire."""
+    task = next(t for t in graph.tasks if not t.on_cpu)
+    task.ins.append(Move(
+        TensorKind.X, 1, Channel.P2P,
+        peer=graph.n_devices + 7, label="injected-ghost-peer",
+    ))
+    return options, "channel/bad-peer"
+
+
+def inject_ablation(
+    graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Claim an optimization is off that the graph plainly uses."""
+    if any(len(t.microbatches) > 1 for t in graph.tasks if not t.on_cpu):
+        return replace(options, grouping=False), "ablation/grouping"
+    # Single-microbatch graphs: misstate the offload switch instead.
+    return (
+        replace(options, offload_optimizer=not options.offload_optimizer),
+        "ablation/offload",
+    )
+
+
+#: Defect name -> injector, one per seeded defect kind.
+INJECTIONS: dict[str, Injector] = {
+    "cycle": inject_cycle,
+    "use-before-produce": inject_use_before_produce,
+    "over-capacity": inject_over_capacity,
+    "illegal-p2p": inject_illegal_p2p,
+    "ablation": inject_ablation,
+}
+
+
+def inject(
+    name: str, graph: TaskGraph, options: ScheduleOptions
+) -> tuple[ScheduleOptions, str]:
+    """Apply the named defect; returns (options, expected rule id)."""
+    try:
+        injector = INJECTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown defect {name!r}; known: {', '.join(INJECTIONS)}"
+        ) from None
+    return injector(graph, options)

@@ -1,0 +1,63 @@
+"""Pass protocol and registry.
+
+A pass is a class with a stable ``name``, the tuple of rule ids it can
+emit, and a ``run(ctx)`` generator of diagnostics.  Registering is a
+decorator away::
+
+    @register
+    class MyPass(AnalysisPass):
+        name = "mypass"
+        rules = ("mypass/some-rule",)
+
+        def run(self, ctx):
+            yield Diagnostic("mypass/some-rule", Severity.ERROR, "...")
+
+Pass order in the registry is the order passes run and report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Type
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic
+
+
+class AnalysisPass:
+    """Base class for analyzer passes."""
+
+    name: str = "?"
+    rules: tuple[str, ...] = ()
+
+    def skip_reason(self, ctx: AnalysisContext) -> Optional[str]:
+        """Non-None when the pass cannot run against this context."""
+        return None
+
+    def run(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Type[AnalysisPass]] = {}
+
+
+def register(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+    """Class decorator adding a pass to the global registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"analysis pass {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_passes() -> dict[str, Type[AnalysisPass]]:
+    """Name -> pass class, in registration (execution) order."""
+    return dict(_REGISTRY)
+
+
+def get_pass(name: str) -> Type[AnalysisPass]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis pass {name!r}; "
+            f"registered: {', '.join(_REGISTRY)}"
+        ) from None

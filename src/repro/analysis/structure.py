@@ -1,0 +1,71 @@
+"""Structural integrity pass: the graph is a well-formed container.
+
+These are the invariants every other pass assumes, folded in from the old
+ad-hoc ``TaskGraph.validate()``: dense tids, device bindings in range,
+move source references resolvable, and tasks that actually carry work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+
+
+@register
+class StructurePass(AnalysisPass):
+    name = "structure"
+    rules = (
+        "structure/dense-tids",
+        "structure/bad-device",
+        "structure/dangling-src",
+        "structure/self-dependency",
+        "structure/no-microbatches",
+    )
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        graph = ctx.graph
+        n_tasks = len(graph.tasks)
+        for position, task in enumerate(graph.tasks):
+            if task.tid != position:
+                yield Diagnostic(
+                    "structure/dense-tids", Severity.ERROR,
+                    f"task at position {position} has tid {task.tid}; "
+                    "tids must be dense and ordered",
+                    task=task.tid, device=task.device,
+                    hint="emit tasks through TaskGraph.add",
+                )
+            if not 0 <= task.device < graph.n_devices:
+                yield Diagnostic(
+                    "structure/bad-device", Severity.ERROR,
+                    f"task {task_ref(task.tid)} bound to device "
+                    f"{task.device}, graph declares {graph.n_devices}",
+                    task=task.tid,
+                )
+            if not task.microbatches:
+                yield Diagnostic(
+                    "structure/no-microbatches", Severity.ERROR,
+                    f"task {task_ref(task.tid)} has an empty microbatch "
+                    "group; per-microbatch moves cannot be chunked",
+                    task=task.tid, device=task.device,
+                )
+            for _direction, move in task.moves():
+                if move.src_task is None:
+                    continue
+                if not 0 <= move.src_task < n_tasks:
+                    yield Diagnostic(
+                        "structure/dangling-src", Severity.ERROR,
+                        f"task {task_ref(task.tid)} move references "
+                        f"missing task {move.src_task}",
+                        task=task.tid, device=task.device,
+                        move=move.label,
+                    )
+                elif move.src_task == task.tid:
+                    yield Diagnostic(
+                        "structure/self-dependency", Severity.ERROR,
+                        f"task {task_ref(task.tid)} depends on itself",
+                        task=task.tid, device=task.device,
+                        move=move.label,
+                    )

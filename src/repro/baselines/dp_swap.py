@@ -161,6 +161,11 @@ class DpSwapPlanner(BaselineScheme):
                 tensor=TensorKind.DW, nbytes=swap_out, channel=Channel.SWAP,
                 label="lms-out",
             ))
+            # Swapped-in state plus the allreduce shards it receives all
+            # occupy GPU memory while the update runs.
+            task.resident_bytes = sum(
+                move.nbytes for move in task.ins if move.channel.crosses_pcie
+            )
             graph.add(task)
 
         graph.validate()

@@ -97,14 +97,16 @@ class GpipeSwapPlanner(BaselineScheme):
                     label=f"F{s}mb{i}",
                 )
                 if s > 0:
+                    boundary = profiles.boundary_in_bytes(stage, size)
                     task.ins.append(Move(
                         tensor=TensorKind.X,
-                        nbytes=profiles.boundary_in_bytes(stage, size),
+                        nbytes=boundary,
                         channel=Channel.P2P,
                         peer=s - 1,
                         src_task=fwd_tid[(s - 1, i)],
                         label="act",
                     ))
+                    task.resident_bytes += boundary
                 fwd_tid[(s, i)] = task.tid
 
         # Backward phase (after the flush): reverse stages, reverse mbs.
@@ -143,14 +145,16 @@ class GpipeSwapPlanner(BaselineScheme):
                     label=f"B{s}mb{i}", recompute=self.recompute,
                 )
                 if s < n - 1:
+                    boundary = profiles.boundary_out_bytes(stage, size)
                     task.ins.append(Move(
                         tensor=TensorKind.DY,
-                        nbytes=profiles.boundary_out_bytes(stage, size),
+                        nbytes=boundary,
                         channel=Channel.P2P,
                         peer=s + 1,
                         src_task=bwd_tid[(s + 1, i)],
                         label="grad-act",
                     ))
+                    task.resident_bytes += boundary
                 bwd_tid[(s, i)] = task.tid
 
         # Per-stage weight update.
@@ -192,6 +196,7 @@ class GpipeSwapPlanner(BaselineScheme):
                     tensor=TensorKind.DW, nbytes=swap_out,
                     channel=Channel.SWAP, label="lms-out",
                 ))
+            task.resident_bytes = swap_in
             graph.add(task)
 
         graph.validate()

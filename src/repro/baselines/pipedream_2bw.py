@@ -161,7 +161,11 @@ class PipeDream2BWPlanner(BaselineScheme):
                     tensor=TensorKind.DW, nbytes=swap_out,
                     channel=Channel.SWAP, label="lms-out",
                 ))
-            task.resident_bytes = swap_in
+            # Everything fetched across PCIe (host swaps and boundary
+            # activations alike) occupies GPU memory while the task runs.
+            task.resident_bytes = sum(
+                move.nbytes for move in task.ins if move.channel.crosses_pcie
+            )
             graph.add(task)
             emitted[(kind, s, i)] = task.tid
 
@@ -209,6 +213,7 @@ class PipeDream2BWPlanner(BaselineScheme):
                     tensor=TensorKind.DW, nbytes=swap_out,
                     channel=Channel.SWAP, label="lms-out",
                 ))
+            task.resident_bytes = swap_in
             graph.add(task)
 
         graph.validate()

@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Three subcommands:
+Four subcommands:
 
 - ``plan``  -- run the Scheduler for a model and print the searched
   configuration (the Table 1 view);
 - ``run``   -- plan and execute one iteration, printing throughput and
   swap metrics (a Figure 9 cell);
+- ``check`` -- plan, then statically verify the schedule (deadlocks,
+  dataflow, capacity, topology, ablation consistency) without executing;
+  exits nonzero when the analyzer reports errors;
 - ``experiment`` -- regenerate one of the paper's tables/figures by name.
 
 Examples::
 
     python -m repro.cli plan gpt2 --minibatch 64 --mode pp
     python -m repro.cli run bert96 --minibatch 32 --mode dp --gpus 4
+    python -m repro.cli check gpt2 --minibatch 64 --mode pp
+    python -m repro.cli check gpt2 --minibatch 64 --inject cycle
     python -m repro.cli experiment fig09 --fast
 """
 
@@ -22,6 +27,7 @@ import importlib
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis import INJECTIONS, analyze, inject
 from repro.core.harmony import Harmony, HarmonyOptions
 from repro.experiments.common import render, server_for
 from repro.models.zoo import available_models
@@ -62,6 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="plan and execute one iteration")
     add_model_args(run)
 
+    check = sub.add_parser(
+        "check", help="statically verify the planned schedule"
+    )
+    add_model_args(check)
+    check.add_argument(
+        "--inject", choices=sorted(INJECTIONS), default=None,
+        help="seed one defect into the plan first, to see the analyzer "
+             "catch it (exits nonzero)",
+    )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
@@ -91,6 +107,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = _harmony(args).run()
         print(report.describe())
         return 0
+    if args.command == "check":
+        harmony = _harmony(args)
+        plan = harmony.plan()
+        options = plan.options.schedule_options()
+        if args.inject:
+            options, expected = inject(args.inject, plan.graph, options)
+            print(f"injected defect {args.inject!r} "
+                  f"(should trip {expected})")
+        host_state = (
+            harmony.model.model_state_bytes
+            + harmony.minibatch * harmony.model.sample_bytes
+        )
+        report = analyze(
+            plan.graph,
+            server=harmony.server,
+            options=options,
+            host_state_bytes=host_state,
+            prefetch=options.prefetch,
+        )
+        print(report.describe())
+        return 0 if report.ok else 1
     if args.command == "experiment":
         module = importlib.import_module(
             f"repro.experiments.{EXPERIMENTS[args.name]}"

@@ -35,5 +35,16 @@ class SchedulingError(ReproError):
     """The scheduler produced or was given an inconsistent task graph."""
 
 
+class ScheduleAnalysisError(SchedulingError):
+    """The static schedule analyzer rejected a task graph.
+
+    Raised by :func:`repro.analysis.check` (and by
+    :meth:`~repro.core.types.TaskGraph.validate`, which delegates to the
+    analyzer's error-severity subset).  Subclasses
+    :class:`SchedulingError` so callers that guarded against malformed
+    graphs before the analyzer existed keep working.
+    """
+
+
 class SimulationError(ReproError):
     """Internal discrete-event simulation invariant violated."""

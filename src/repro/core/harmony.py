@@ -56,6 +56,17 @@ class HarmonyOptions:
     exhaustive_search: bool = False
     equi_fb: bool = False
     seed: int = 0
+    # Static schedule verification before execution: "off" skips it,
+    # "warn" prints diagnostics to stderr, "strict" refuses to run a
+    # schedule with error-severity findings.
+    analyze: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.analyze not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"analyze must be 'off', 'warn' or 'strict', "
+                f"got {self.analyze!r}"
+            )
 
     def schedule_options(self) -> ScheduleOptions:
         return ScheduleOptions(
@@ -212,6 +223,8 @@ class Harmony:
             self.model.model_state_bytes
             + self.minibatch * self.model.sample_bytes
         )
+        if self.options.analyze != "off":
+            self._analyze(plan, host_state)
         executor = Executor(
             live, time_model,
             prefetch=self.options.prefetch,
@@ -219,3 +232,21 @@ class Harmony:
         )
         metrics = executor.run(plan.graph, iterations=iterations)
         return HarmonyReport(plan=plan, metrics=metrics)
+
+    def _analyze(self, plan: HarmonyPlan, host_state: int) -> None:
+        """Run the static schedule verifier per ``options.analyze``."""
+        from repro.analysis import analyze
+
+        report = analyze(
+            plan.graph,
+            server=self.server,
+            options=self.options.schedule_options(),
+            host_state_bytes=host_state,
+            prefetch=self.options.prefetch,
+        )
+        if self.options.analyze == "strict":
+            report.raise_if_errors()
+        elif report.diagnostics:
+            import sys
+
+            print(report.describe(), file=sys.stderr)

@@ -202,20 +202,19 @@ class TaskGraph:
         )
 
     def validate(self) -> None:
-        """Check structural invariants (dense tids, dependency sanity)."""
-        for position, task in enumerate(self.tasks):
-            if task.tid != position:
-                raise ValueError("task tids are not dense")
-            if not 0 <= task.device < self.n_devices:
-                raise ValueError(f"task {task.tid} bound to bad device")
-            for _direction, move in task.moves():
-                if move.src_task is not None and not (
-                    0 <= move.src_task < len(self.tasks)
-                ):
-                    raise ValueError(
-                        f"task {task.tid} move references missing task "
-                        f"{move.src_task}"
-                    )
+        """Certify the graph's structural invariants.
+
+        Delegates to the error-severity structural subset of the static
+        analyzer (:func:`repro.analysis.verify_graph`): dense tids, device
+        bindings, resolvable move sources, stream-aware deadlock freedom,
+        and tensor dataflow sanity.  Raises
+        :class:`~repro.common.errors.ScheduleAnalysisError` on violation.
+        """
+        # Imported lazily: repro.analysis consumes these types at module
+        # scope, so a top-level import would be circular.
+        from repro.analysis import verify_graph
+
+        verify_graph(self)
 
 
 def total_bytes(moves: Iterable[Move]) -> int:

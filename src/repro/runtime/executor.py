@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.common.errors import HostOutOfMemoryError, SchedulingError
+from repro.analysis.diagnostics import stream_ref, task_ref
+from repro.common.errors import (
+    HostOutOfMemoryError,
+    SchedulingError,
+    SimulationError,
+)
 from repro.core.taskgraph import mb_dependency
 from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
 from repro.hardware.server import SimulatedServer
@@ -56,9 +61,13 @@ class _TaskRuntime:
 
     def __init__(self, sim: Simulator, task: Task):
         self.task = task
-        self.mb_done = [SimEvent(sim) for _ in task.microbatches]
-        self.done = SimEvent(sim)
-        self.outs_flushed = SimEvent(sim)
+        ref = task_ref(task.tid)
+        self.mb_done = [
+            SimEvent(sim, name=f"{ref}.mb{i}_done")
+            for i in range(len(task.microbatches))
+        ]
+        self.done = SimEvent(sim, name=f"{ref}.done")
+        self.outs_flushed = SimEvent(sim, name=f"{ref}.outs_flushed")
         self.state_ready: Optional[SimEvent] = None
         self.input_ready: list[SimEvent] = []
 
@@ -122,8 +131,10 @@ class Executor:
                 if t.kind is TaskKind.UPD
             ]
             barrier = sim.all_of(update_flushes or
-                                 [rt.outs_flushed for rt in self.runtimes])
+                                 [rt.outs_flushed for rt in self.runtimes],
+                                 name="iteration-barrier")
             sim.run()
+            self._check_completion()
 
         end_time = sim.now
         if iterations > 1:
@@ -143,6 +154,47 @@ class Executor:
             host_peak_bytes=self._host_peak,
         )
         return run
+
+    def _check_completion(self) -> None:
+        """Every task must have run to completion when the event heap drains.
+
+        A drained simulator with unfinished tasks means the schedule
+        deadlocked (a fetch or compute waited on an event that can never
+        fire).  The error names the stalled tasks and streams with the
+        same ``t<tid>`` / ``gpu<d>.<stream>`` identifiers the static
+        analyzer's diagnostics use, so the two reports line up.
+        """
+        stuck = [rt for rt in self.runtimes if not rt.done.fired]
+        if not stuck:
+            return
+        details = []
+        for rt in stuck[:6]:
+            task = rt.task
+            fetch_stuck = (
+                rt.state_ready is not None and not rt.state_ready.fired
+            ) or any(not event.fired for event in rt.input_ready)
+            if fetch_stuck:
+                stream = (
+                    "p2p_in"
+                    if any(
+                        m.channel is Channel.P2P and m.nbytes > 0
+                        for m in task.ins
+                    ) and not any(m.channel.via_host and m.nbytes > 0
+                                  for m in task.ins)
+                    else "swap_in"
+                )
+                where = f"fetching inputs on {stream_ref(task.device, stream)}"
+            else:
+                where = f"computing on {stream_ref(task.device, 'compute')}"
+            details.append(f"{task_ref(task.tid)} stalled {where}")
+        more = len(stuck) - len(details)
+        if more > 0:
+            details.append(f"+{more} more")
+        raise SimulationError(
+            f"schedule deadlocked: {len(stuck)} task(s) never completed "
+            f"({'; '.join(details)}); run the static analyzer "
+            "(repro.analysis) on this graph to locate the cycle"
+        )
 
     # -- host memory -------------------------------------------------------------
 
@@ -402,8 +454,34 @@ def run_task_graph(
     time_model: TrueTimeModel,
     prefetch: bool = True,
     host_state_bytes: int = 0,
+    analyze: str = "off",
 ) -> RunMetrics:
-    """Convenience wrapper: execute ``graph`` once and return metrics."""
+    """Convenience wrapper: execute ``graph`` once and return metrics.
+
+    ``analyze`` gates the static schedule verifier: ``"warn"`` prints
+    diagnostics to stderr, ``"strict"`` raises
+    :class:`~repro.common.errors.ScheduleAnalysisError` instead of
+    executing an unsafe schedule.
+    """
+    if analyze not in ("off", "warn", "strict"):
+        raise ValueError(
+            f"analyze must be 'off', 'warn' or 'strict', got {analyze!r}"
+        )
+    if analyze != "off":
+        from repro.analysis import analyze as run_analysis
+
+        report = run_analysis(
+            graph,
+            server=server.spec,
+            host_state_bytes=host_state_bytes or None,
+            prefetch=prefetch,
+        )
+        if analyze == "strict":
+            report.raise_if_errors()
+        elif report.diagnostics:
+            import sys
+
+            print(report.describe(), file=sys.stderr)
     executor = Executor(
         server, time_model, prefetch=prefetch, host_state_bytes=host_state_bytes
     )

@@ -27,15 +27,24 @@ class SimEvent:
     An event starts *pending*; calling :meth:`succeed` fires it, resuming
     every waiting process with ``value``.  Waiting on an already-fired
     event resumes the waiter immediately (on the next simulator step).
+
+    ``name`` identifies the event in error messages; the runtime names
+    its task events with the same ``t<tid>`` / ``gpu<d>.<stream>``
+    scheme the static analyzer's diagnostics use, so a runtime failure
+    and a pre-run diagnostic point at the same schedule entity.
     """
 
-    __slots__ = ("sim", "_fired", "_value", "_waiters")
+    __slots__ = ("sim", "name", "_fired", "_value", "_waiters")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
+        self.name = name
         self._fired = False
         self._value: Any = None
         self._waiters: list[Callable[[Any], None]] = []
+
+    def _label(self) -> str:
+        return f"event {self.name!r}" if self.name else "event"
 
     @property
     def fired(self) -> bool:
@@ -44,13 +53,15 @@ class SimEvent:
     @property
     def value(self) -> Any:
         if not self._fired:
-            raise SimulationError("event value read before the event fired")
+            raise SimulationError(
+                f"{self._label()} value read before the event fired"
+            )
         return self._value
 
     def succeed(self, value: Any = None) -> "SimEvent":
         """Fire the event, waking all waiters at the current sim time."""
         if self._fired:
-            raise SimulationError("event fired twice")
+            raise SimulationError(f"{self._label()} fired twice")
         self._fired = True
         self._value = value
         waiters, self._waiters = self._waiters, []
@@ -84,8 +95,9 @@ class AllOf(SimEvent):
     An empty input fires immediately.
     """
 
-    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
-        super().__init__(sim)
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent],
+                 name: str = ""):
+        super().__init__(sim, name=name)
         self._events = list(events)
         self._remaining = len(self._events)
         if self._remaining == 0:
@@ -109,8 +121,7 @@ class Process(SimEvent):
     """
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "proc"):
-        super().__init__(sim)
-        self.name = name
+        super().__init__(sim, name=name)
         self._body = body
         sim.schedule(0.0, self._step, None)
 
@@ -187,14 +198,14 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
 
-    def event(self) -> SimEvent:
-        return SimEvent(self)
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
 
     def timeout(self, delay: float) -> Timeout:
         return Timeout(self, delay)
 
-    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
-        return AllOf(self, events)
+    def all_of(self, events: Iterable[SimEvent], name: str = "") -> AllOf:
+        return AllOf(self, events, name=name)
 
     def process(self, body: ProcessBody, name: str = "proc") -> Process:
         """Register a generator as a process starting at the current time."""

@@ -1,0 +1,39 @@
+"""The ``repro.cli check`` subcommand: exit codes and per-pass summary."""
+
+import pytest
+
+from repro.analysis import INJECTIONS
+from repro.cli import main
+
+ARGS = ["check", "toy-transformer", "--minibatch", "16", "--mode", "pp"]
+
+EXPECTED_RULES = {
+    "cycle": "deadlock/cycle",
+    "use-before-produce": "dataflow/use-before-produce",
+    "over-capacity": "capacity/gpu",
+    "illegal-p2p": "channel/bad-peer",
+    "ablation": "ablation/",
+}
+
+
+def test_clean_schedule_exits_zero(capsys):
+    assert main(ARGS) == 0
+    out = capsys.readouterr().out
+    for name in ("structure", "deadlock", "dataflow", "capacity",
+                 "channel", "ablation"):
+        assert f"{name:<10} ok" in out
+    assert "schedule is safe" in out
+
+
+@pytest.mark.parametrize("defect", sorted(INJECTIONS))
+def test_injected_defect_exits_nonzero_with_rule_id(defect, capsys):
+    assert main(ARGS + ["--inject", defect]) == 1
+    out = capsys.readouterr().out
+    assert EXPECTED_RULES[defect] in out
+    assert "REJECTED" in out
+
+
+def test_dp_mode_checks_too(capsys):
+    assert main(["check", "toy-transformer", "--minibatch", "16",
+                 "--mode", "dp"]) == 0
+    assert "schedule is safe" in capsys.readouterr().out

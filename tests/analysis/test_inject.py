@@ -1,0 +1,100 @@
+"""The seeded-defect injectors and the runtime gates around the analyzer."""
+
+import pytest
+
+from repro.analysis import INJECTIONS, ScheduleAnalysisError, analyze, inject
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+
+
+def toy_plan(options):
+    server = server_for(4)
+    return server, Harmony(
+        "toy-transformer", server, 16, options=options
+    ).plan()
+
+
+@pytest.mark.parametrize("defect", sorted(INJECTIONS))
+def test_each_injected_defect_trips_exactly_its_rule(defect):
+    options = HarmonyOptions(mode="pp")
+    server, plan = toy_plan(options)
+    sched_options, expected = inject(defect, plan.graph, options.schedule_options())
+    report = analyze(
+        plan.graph, server=server, options=sched_options,
+        prefetch=sched_options.prefetch,
+    )
+    assert {d.rule for d in report.errors} == {expected}, report.describe()
+
+
+def test_unknown_defect_rejected():
+    options = HarmonyOptions(mode="pp")
+    _server, plan = toy_plan(options)
+    with pytest.raises(KeyError, match="unknown defect"):
+        inject("nonsense", plan.graph, options.schedule_options())
+
+
+class TestHarmonyGate:
+    def test_strict_mode_passes_clean_schedule(self):
+        options = HarmonyOptions(mode="pp", analyze="strict")
+        _server, plan = toy_plan(options)
+        harmony = Harmony("toy-transformer", server_for(4), 16,
+                          options=options)
+        report = harmony.run(plan)
+        assert report.metrics.iteration_time > 0
+
+    def test_strict_mode_rejects_injected_defect(self):
+        options = HarmonyOptions(mode="pp", analyze="strict")
+        server, plan = toy_plan(options)
+        inject("illegal-p2p", plan.graph, options.schedule_options())
+        harmony = Harmony("toy-transformer", server, 16, options=options)
+        with pytest.raises(ScheduleAnalysisError, match="channel/bad-peer"):
+            harmony.run(plan)
+
+    @pytest.mark.no_graph_analysis  # the defect must reach the Executor
+    def test_warn_mode_prints_but_runs(self, capsys):
+        # use-before-produce is a pure dataflow defect: the simulator
+        # happily transfers the phantom bytes, so warn mode can both
+        # report it and still complete the run.
+        options = HarmonyOptions(mode="pp", analyze="warn")
+        server, plan = toy_plan(options)
+        inject("use-before-produce", plan.graph, options.schedule_options())
+        harmony = Harmony("toy-transformer", server, 16, options=options)
+        report = harmony.run(plan)
+        assert report.metrics.iteration_time > 0
+        assert "dataflow/use-before-produce" in capsys.readouterr().err
+
+    def test_bad_analyze_value_rejected(self):
+        with pytest.raises(ValueError, match="analyze"):
+            HarmonyOptions(analyze="loud")
+
+
+class TestRunTaskGraphGate:
+    def test_strict_gate(self, small_server, toy_decomposed, toy_profiles):
+        from repro.core.config import Configuration
+        from repro.core.packing import balanced_time_packing
+        from repro.core.taskgraph import HarmonyGraphBuilder, ScheduleOptions
+        from repro.graph.layer import Phase
+        from repro.hardware.server import SimulatedServer
+        from repro.runtime.executor import run_task_graph
+        from repro.runtime.timemodel import TrueTimeModel
+        from repro.sim.engine import Simulator
+
+        packs_b = balanced_time_packing(Phase.BWD, 1, toy_profiles, 1_300_000)
+        packs_f = balanced_time_packing(
+            Phase.FWD, 2, toy_profiles, 1_300_000, backward_packs=packs_b
+        )
+        config = Configuration(u_f=2, packs_f=packs_f, u_b=1, packs_b=packs_b)
+        graph = HarmonyGraphBuilder(
+            toy_profiles, 2, 8, ScheduleOptions(mode="pp")
+        ).build(config)
+        sim = Simulator()
+        server = SimulatedServer(sim, small_server)
+        time_model = TrueTimeModel(
+            toy_decomposed, small_server.gpu, small_server.host, 2
+        )
+        metrics = run_task_graph(
+            server, graph, time_model, analyze="strict"
+        )
+        assert metrics.iteration_time > 0
+        with pytest.raises(ValueError, match="analyze"):
+            run_task_graph(server, graph, time_model, analyze="nope")

@@ -1,0 +1,52 @@
+"""Property-style coverage: every schedule the planner emits analyzes clean.
+
+Two sweeps:
+
+- every zoo model x {pp, dp} under default options;
+- every single-switch ablation x {pp, dp} on two representative models
+  (including ``prefetch`` off, which halves the capacity window).
+
+"Clean" means zero errors *and* zero warnings with the full pass set and
+full machine/schedule context -- the planner should never need a waiver
+for its own graphs.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+from repro.models.zoo import available_models
+
+ABLATIONS = (
+    None, "grouping", "jit", "p2p", "offload_optimizer", "prefetch",
+)
+
+
+def assert_clean(model, options):
+    server = server_for(4)
+    plan = Harmony(model, server, 16, options=options).plan()
+    report = analyze(
+        plan.graph,
+        server=server,
+        options=options.schedule_options(),
+        host_state_bytes=None,  # host fit for massive models is Figure 15
+        prefetch=options.prefetch,
+    )
+    assert report.ok and not report.warnings, report.describe()
+
+
+@pytest.mark.parametrize("model", available_models())
+@pytest.mark.parametrize("mode", ("pp", "dp"))
+def test_zoo_schedules_analyze_clean(model, mode):
+    assert_clean(model, HarmonyOptions(mode=mode))
+
+
+@pytest.mark.parametrize("model", ("toy-transformer", "gpt2"))
+@pytest.mark.parametrize("mode", ("pp", "dp"))
+@pytest.mark.parametrize("ablation", ABLATIONS)
+def test_ablated_schedules_analyze_clean(model, mode, ablation):
+    options = HarmonyOptions(mode=mode)
+    if ablation is not None:
+        options = options.without(ablation)
+    assert_clean(model, options)

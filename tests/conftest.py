@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import verify_graph
 from repro.core.decomposer import Decomposer
 from repro.core.profiler import Profiler
 from repro.hardware.gpu import GpuSpec
@@ -9,7 +10,32 @@ from repro.hardware.host import HostSpec
 from repro.hardware.interconnect import TopologySpec
 from repro.hardware.server import ServerSpec
 from repro.models.transformer import tiny_transformer
+from repro.runtime.executor import Executor
 from repro.sim.engine import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _verify_executed_graphs(request, monkeypatch):
+    """Statically verify every task graph the suite executes.
+
+    Any schedule handed to ``Executor.run`` anywhere in the test suite
+    must first pass the analyzer's structural passes (structure, deadlock,
+    dataflow, channel) in strict mode.  Capacity and ablation passes need
+    context a blanket hook cannot reconstruct faithfully -- dedicated
+    tests cover those.  Tests that deliberately execute broken graphs opt
+    out with ``@pytest.mark.no_graph_analysis``.
+    """
+    if request.node.get_closest_marker("no_graph_analysis"):
+        yield
+        return
+    original = Executor.run
+
+    def run(self, graph, *args, **kwargs):
+        verify_graph(graph)
+        return original(self, graph, *args, **kwargs)
+
+    monkeypatch.setattr(Executor, "run", run)
+    yield
 
 
 @pytest.fixture
