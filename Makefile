@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze
+.PHONY: check lint typecheck test analyze chaos-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -22,3 +22,8 @@ test:
 # Convenience: statically verify the headline schedule.
 analyze:
 	python -m repro.cli check gpt2 --minibatch 64 --mode pp
+
+# Quick fault-injection sweep on the toy model: exits nonzero if any
+# seed hangs (watchdog) or breaks byte accounting.
+chaos-smoke:
+	python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3

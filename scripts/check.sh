@@ -28,4 +28,8 @@ fi
 echo "== pytest (tier 1) =="
 python -m pytest -x -q tests/ || failed=1
 
+echo "== chaos smoke =="
+python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3 \
+    || failed=1
+
 exit "$failed"

@@ -125,6 +125,9 @@ class BaselineScheme:
         self.model = build_model(model) if isinstance(model, str) else model
         self.server = server
         self.minibatch = minibatch
+        # One seed pins the whole baseline run: the Decomposer draws its
+        # kernel noise through repro.common.rng, the package-wide seeding
+        # scheme shared with Harmony runs and chaos fault plans.
         self.seed = seed
         self.decomposed = Decomposer(seed=seed).decompose(self.model)
         self.profiles = Profiler(server.gpu).profile(self.decomposed)

@@ -9,7 +9,12 @@ Four subcommands:
 - ``check`` -- plan, then statically verify the schedule (deadlocks,
   dataflow, capacity, topology, ablation consistency) without executing;
   exits nonzero when the analyzer reports errors;
-- ``experiment`` -- regenerate one of the paper's tables/figures by name.
+- ``experiment`` -- regenerate one of the paper's tables/figures by name;
+- ``chaos`` -- run a fault-injection sweep: execute the planned schedule
+  under a seeded chaos fault plan for a range of seeds, reporting per-seed
+  outcomes (completed + recovery counters, or the typed error) and a
+  summary; exits nonzero if any seed hangs the watchdog or breaks byte
+  accounting.
 
 Examples::
 
@@ -18,6 +23,7 @@ Examples::
     python -m repro.cli check gpt2 --minibatch 64 --mode pp
     python -m repro.cli check gpt2 --minibatch 64 --inject cycle
     python -m repro.cli experiment fig09 --fast
+    python -m repro.cli chaos gpt2 --minibatch 32 --seeds 10 --intensity 1.5
 """
 
 from __future__ import annotations
@@ -84,6 +90,24 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--fast", action="store_true",
                             help="shrunk sweep for a quick look")
+
+    chaos = sub.add_parser(
+        "chaos", help="execute under fault injection across a seed sweep"
+    )
+    add_model_args(chaos)
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of fault seeds to sweep (default 5)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first fault seed of the sweep")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="chaos intensity multiplier (default 1.0)")
+    chaos.add_argument("--iterations", type=int, default=2,
+                       help="iterations per run (default 2, so iteration-"
+                            "boundary recovery gets exercised)")
+    chaos.add_argument("--transfer-rate", type=float, default=None,
+                       help="override the transfer fault rate")
+    chaos.add_argument("--crash-rate", type=float, default=None,
+                       help="override the task crash rate")
     return parser
 
 
@@ -135,7 +159,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rows = module.run(fast=args.fast)
         print(render(rows))
         return 0
+    if args.command == "chaos":
+        return _chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    """Seed-sweep fault injection over one planned schedule.
+
+    Three per-seed outcomes: *completed* (recovery won -- byte invariants
+    were audited inside the runner), *typed failure* (faults exhausted the
+    recovery policy; an acceptable chaos outcome, reported with the fault's
+    entity), and *hard failure* (watchdog trip or broken byte accounting
+    -- a runtime bug).  Only hard failures make the exit code nonzero.
+    """
+    from dataclasses import replace
+
+    from repro.common.errors import FaultError, SimulationError
+    from repro.faults import FaultPlan, FaultSpec
+
+    spec = FaultSpec.chaos(args.intensity)
+    if args.transfer_rate is not None:
+        spec = replace(spec, transfer_fault_rate=args.transfer_rate)
+    if args.crash_rate is not None:
+        spec = replace(spec, task_crash_rate=args.crash_rate)
+    harmony = _harmony(args)
+    plan = harmony.plan()
+    print(plan.describe())
+    print(f"chaos sweep: {args.seeds} seed(s) from {args.seed_base}, "
+          f"{spec.describe()}")
+    completed = failed = hard = 0
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        fault_plan = FaultPlan(spec, seed=seed)
+        try:
+            report = harmony.run(plan=plan, iterations=args.iterations,
+                                 fault_plan=fault_plan)
+        except FaultError as exc:
+            failed += 1
+            entity = f" [{exc.entity}]" if exc.entity else ""
+            print(f"  seed {seed}: FAILED {type(exc).__name__}{entity}: {exc}")
+        except SimulationError as exc:
+            hard += 1
+            print(f"  seed {seed}: HARD FAILURE {type(exc).__name__}: {exc}")
+        else:
+            completed += 1
+            metrics = report.metrics
+            print(f"  seed {seed}: completed, iteration "
+                  f"{metrics.iteration_time:.4f}s, "
+                  f"{metrics.recovery.describe()}")
+    print(f"chaos summary: {completed} completed, {failed} failed with a "
+          f"typed fault, {hard} hard failure(s) "
+          f"({'runtime bug' if hard else 'byte accounting intact, no hangs'})")
+    return 1 if hard else 0
 
 
 if __name__ == "__main__":

@@ -1,6 +1,8 @@
-"""Shared helpers: units, errors and tiny utilities used across subsystems."""
+"""Shared helpers: units, errors, seeding and tiny utilities used across
+subsystems."""
 
 from repro.common.units import KiB, MiB, GiB, KB, MB, GB, fmt_bytes, fmt_time
+from repro.common.rng import seeded_rng, spread, unit
 from repro.common.errors import (
     ReproError,
     GpuOutOfMemoryError,
@@ -8,6 +10,11 @@ from repro.common.errors import (
     InfeasibleConfigError,
     GraphError,
     SchedulingError,
+    FaultError,
+    TransferFaultError,
+    TaskCrashError,
+    GpuDegradedError,
+    UnrecoveredFaultError,
 )
 
 __all__ = [
@@ -19,10 +26,18 @@ __all__ = [
     "GB",
     "fmt_bytes",
     "fmt_time",
+    "seeded_rng",
+    "spread",
+    "unit",
     "ReproError",
     "GpuOutOfMemoryError",
     "HostOutOfMemoryError",
     "InfeasibleConfigError",
     "GraphError",
     "SchedulingError",
+    "FaultError",
+    "TransferFaultError",
+    "TaskCrashError",
+    "GpuDegradedError",
+    "UnrecoveredFaultError",
 ]

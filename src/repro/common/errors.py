@@ -47,4 +47,42 @@ class ScheduleAnalysisError(SchedulingError):
 
 
 class SimulationError(ReproError):
-    """Internal discrete-event simulation invariant violated."""
+    """Internal discrete-event simulation invariant violated.
+
+    Also raised by the simulator watchdog (step budget / virtual-time
+    horizon exceeded) -- a leaked process surfaces as a typed error
+    naming the pending work, never as an infinite loop.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for injected faults surfaced to the runtime.
+
+    ``entity`` names the faulted schedule entity with the same
+    ``t<tid>`` / ``gpu<d>.<stream>`` identifier scheme the static
+    analyzer and the runtime's deadlock reports use, so chaos-run
+    failures line up with every other diagnostic in the system.
+    """
+
+    def __init__(self, message: str, entity: str = ""):
+        super().__init__(message)
+        self.entity = entity
+
+
+class TransferFaultError(FaultError):
+    """A swap/p2p transfer attempt failed in flight (transient by default;
+    the runtime's retry/fallback policy decides whether it stays that way)."""
+
+
+class TaskCrashError(FaultError):
+    """A task's compute attempt crashed (spurious kernel/process failure)."""
+
+
+class GpuDegradedError(FaultError):
+    """A GPU is persistently degraded beyond the recovery policy's
+    tolerance; its tasks should be re-bound to a healthy device."""
+
+
+class UnrecoveredFaultError(FaultError):
+    """An injected fault exhausted every recovery policy (retries,
+    fallback, restarts) and the run cannot make progress."""

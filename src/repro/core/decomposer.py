@@ -15,10 +15,10 @@ real kernels.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 from repro.common.errors import GraphError
+from repro.common.rng import spread
 from repro.graph.graph import LayerGraph
 from repro.graph.layer import LayerSpec, Phase
 from repro.graph.sequentialize import sequentialize
@@ -34,12 +34,6 @@ KERNEL_NOISE = 0.03
 SHAPE_JITTER = 0.004
 
 
-def _unit(*parts: object) -> float:
-    """Deterministic hash -> [0, 1)."""
-    digest = hashlib.md5(":".join(str(p) for p in parts).encode()).digest()
-    return int.from_bytes(digest[:8], "big") / 2**64
-
-
 def _noise(seed: int, layer: int, phase: Phase, microbatch: int) -> float:
     """Deterministic multiplicative deviation for one kernel invocation.
 
@@ -48,9 +42,13 @@ def _noise(seed: int, layer: int, phase: Phase, microbatch: int) -> float:
     systematic part independent of the microbatch size is what lets the
     Profiler's affine regression recover it ("strikingly accurate",
     Section 4.2) while the jitter keeps estimates from being exact.
+
+    Draws come from :mod:`repro.common.rng`, the package-wide seeding
+    scheme, so kernel noise, baseline jitter and chaos fault plans all
+    hang off one reproducible seed without correlating.
     """
-    systematic = (2.0 * _unit(seed, layer, phase.value) - 1.0) * KERNEL_NOISE
-    jitter = (2.0 * _unit(seed, layer, phase.value, microbatch) - 1.0) * SHAPE_JITTER
+    systematic = spread(seed, layer, phase.value) * KERNEL_NOISE
+    jitter = spread(seed, layer, phase.value, microbatch) * SHAPE_JITTER
     return systematic + jitter
 
 

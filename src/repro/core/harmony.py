@@ -34,7 +34,7 @@ from repro.core.types import TaskGraph
 from repro.hardware.server import ServerSpec, SimulatedServer
 from repro.models.spec import ModelSpec
 from repro.models.zoo import build_model
-from repro.runtime.executor import Executor
+from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.timemodel import TrueTimeModel
 from repro.sim.engine import Simulator
@@ -206,15 +206,27 @@ class Harmony:
     # -- execution ---------------------------------------------------------------
 
     def run(self, plan: Optional[HarmonyPlan] = None,
-            iterations: int = 1) -> HarmonyReport:
+            iterations: int = 1,
+            fault_plan: Optional[object] = None,
+            recovery: Optional[object] = None,
+            max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+            horizon: Optional[float] = None) -> HarmonyReport:
         """Execute training iterations on a fresh simulated server.
 
         ``iterations > 1`` runs back-to-back iterations (flush-separated,
         preserving synchronous SGD) and reports per-iteration averages.
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) turns the run
+        into a chaos run: faults are injected per the plan and recovered
+        per ``recovery`` (a :class:`repro.faults.RecoveryPolicy`, default
+        policy if omitted).  A plan with every fault disabled takes the
+        plain path and is bit-identical to no plan at all.  ``max_steps``
+        and ``horizon`` bound the simulator watchdog: a schedule that
+        stops making progress raises
+        :class:`~repro.common.errors.SimulationError` naming the pending
+        work instead of spinning forever.
         """
         plan = plan or self.plan()
-        sim = Simulator()
-        live = SimulatedServer(sim, self.server)
         time_model = TrueTimeModel(
             plan.decomposed, self.server.gpu, self.server.host,
             n_gpus=self.server.n_gpus,
@@ -225,10 +237,29 @@ class Harmony:
         )
         if self.options.analyze != "off":
             self._analyze(plan, host_state)
+        if fault_plan is not None and getattr(fault_plan, "enabled", False):
+            # Imported lazily: repro.faults pulls in the runner (and thus
+            # this module's dependencies) at package scope.
+            from repro.faults.runner import FaultTolerantRunner
+
+            runner = FaultTolerantRunner(
+                self.server, time_model, fault_plan,  # type: ignore[arg-type]
+                policy=recovery,  # type: ignore[arg-type]
+                prefetch=self.options.prefetch,
+                host_state_bytes=host_state,
+                max_steps=max_steps,
+                horizon=horizon,
+            )
+            metrics = runner.run(plan.graph, iterations=iterations)
+            return HarmonyReport(plan=plan, metrics=metrics)
+        sim = Simulator()
+        live = SimulatedServer(sim, self.server)
         executor = Executor(
             live, time_model,
             prefetch=self.options.prefetch,
             host_state_bytes=host_state,
+            max_steps=max_steps,
+            horizon=horizon,
         )
         metrics = executor.run(plan.graph, iterations=iterations)
         return HarmonyReport(plan=plan, metrics=metrics)

@@ -1,0 +1,283 @@
+"""Fault models: what can go wrong, and the seeded plan that decides when.
+
+A :class:`FaultSpec` sets *rates* for each fault class; a
+:class:`FaultPlan` binds a spec to a seed and answers every "does this
+attempt fault?" question the runtime asks.  All decisions are *stateless*
+hash draws through :mod:`repro.common.rng`: a decision depends only on
+``(seed, fault kind, entity labels, attempt number, restart context)``,
+never on the order questions get asked in -- which is what makes a chaos
+run byte-for-byte reproducible from its seed alone.
+
+The fault taxonomy (DESIGN.md section 8):
+
+- **transfer faults** -- a swap or p2p transfer attempt dies in flight
+  (dropped DMA, ECC hiccup); transient, retryable;
+- **link degradation / flapping** -- a PCIe hop's usable bandwidth drops
+  for an epoch and recovers (congestion, ASPM misbehavior);
+- **GPU slow-down** -- a straggler device whose kernels run a constant
+  factor slower (thermal throttling, a noisy neighbor); optionally
+  *persistent*, making the device a re-bind candidate;
+- **task crashes** -- a compute attempt dies partway (spurious kernel
+  fault); retryable from the task's inputs, which are still resident;
+- **host memory pressure** -- epochs in which host-side copy engines and
+  the oversubscribed uplinks slow down (page-cache churn, NUMA pressure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.common.rng import unit
+
+
+class FaultKind(enum.Enum):
+    """Fault classes the injector can deliver."""
+
+    TRANSFER = "transfer"
+    LINK_DEGRADE = "link_degrade"
+    GPU_SLOWDOWN = "gpu_slowdown"
+    TASK_CRASH = "task_crash"
+    HOST_PRESSURE = "host_pressure"
+
+
+_RATES = (
+    "transfer_fault_rate",
+    "link_degrade_rate",
+    "gpu_slowdown_rate",
+    "task_crash_rate",
+    "host_pressure_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and magnitudes for each fault class.  All rates in [0, 1]."""
+
+    #: probability one transfer attempt fails in flight
+    transfer_fault_rate: float = 0.0
+    #: probability a link spends a given epoch degraded
+    link_degrade_rate: float = 0.0
+    #: bandwidth multiplier while a link is degraded
+    link_degrade_factor: float = 0.25
+    #: virtual seconds per link degradation epoch (flap granularity)
+    link_flap_interval: float = 0.05
+    #: probability a GPU is a straggler for the whole run
+    gpu_slowdown_rate: float = 0.0
+    #: kernel-time multiplier of a straggler GPU
+    gpu_slowdown_factor: float = 2.0
+    #: probability a straggler is persistent (re-bind candidate)
+    gpu_persistent_rate: float = 0.5
+    #: probability one compute attempt crashes
+    task_crash_rate: float = 0.0
+    #: probability the host spends a given epoch under memory pressure
+    host_pressure_rate: float = 0.0
+    #: host-side bandwidth multiplier during a pressure epoch
+    host_pressure_factor: float = 0.5
+    #: virtual seconds per host pressure epoch
+    host_pressure_interval: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in _RATES:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("link_degrade_factor", "host_pressure_factor"):
+            factor = getattr(self, name)
+            if not 0.0 < factor <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {factor}")
+        if self.gpu_slowdown_factor < 1.0:
+            raise ValueError(
+                f"gpu_slowdown_factor must be >= 1, got {self.gpu_slowdown_factor}"
+            )
+        if not 0.0 <= self.gpu_persistent_rate <= 1.0:
+            raise ValueError(
+                f"gpu_persistent_rate must be in [0, 1], "
+                f"got {self.gpu_persistent_rate}"
+            )
+        for name in ("link_flap_interval", "host_pressure_interval"):
+            interval = getattr(self, name)
+            if interval <= 0:
+                raise ValueError(f"{name} must be positive, got {interval}")
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in _RATES)
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """All faults off (the zero-overhead baseline)."""
+        return cls()
+
+    @classmethod
+    def chaos(cls, intensity: float = 1.0) -> "FaultSpec":
+        """The standard chaos mix, scaled by ``intensity`` (1.0 = moderate).
+
+        At intensity 1.0 a typical run sees a handful of transfer faults
+        and flapping episodes per iteration, a straggler GPU about every
+        fifth seed, and occasional task crashes -- enough to exercise
+        every recovery path without making completion unlikely.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        clamp = lambda r: min(1.0, r * intensity)  # noqa: E731
+        return cls(
+            transfer_fault_rate=clamp(0.02),
+            link_degrade_rate=clamp(0.10),
+            link_degrade_factor=0.25,
+            gpu_slowdown_rate=clamp(0.20),
+            gpu_slowdown_factor=1.0 + 1.0 * max(intensity, 0.1),
+            gpu_persistent_rate=0.5,
+            task_crash_rate=clamp(0.01),
+            host_pressure_rate=clamp(0.10),
+            host_pressure_factor=0.5,
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name):g}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(type(self)(), f.name)
+        ]
+        return "FaultSpec(" + ", ".join(parts) + ")" if parts else "FaultSpec(off)"
+
+
+@dataclass(frozen=True)
+class Crash:
+    """A decided task-crash fault: die after ``fraction`` of the attempt."""
+
+    fraction: float
+
+
+class FaultPlan:
+    """A seeded, reproducible oracle for every fault decision.
+
+    ``context`` distinguishes restart attempts of the same iteration: the
+    :class:`~repro.faults.runner.FaultTolerantRunner` re-seeds decisions
+    per ``(iteration, attempt)``, so a restarted iteration faces fresh
+    (but still deterministic) dice instead of deterministically re-hitting
+    the same fault forever.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+
+    @property
+    def enabled(self) -> bool:
+        """False for an all-faults-disabled plan (zero-overhead mode)."""
+        return self.spec.any_enabled
+
+    def with_spec(self, **changes: float) -> "FaultPlan":
+        return FaultPlan(replace(self.spec, **changes), seed=self.seed)
+
+    # -- decisions ---------------------------------------------------------------
+
+    def transfer_fault(
+        self, entity: str, label: str, attempt: int, context: tuple = ()
+    ) -> Optional[float]:
+        """Does this transfer attempt fault?  Returns the abort fraction
+        (how far through the transfer the fault strikes) or None."""
+        key = (self.seed, "xfer", context, entity, label, attempt)
+        if unit(*key) >= self.spec.transfer_fault_rate:
+            return None
+        return 0.05 + 0.9 * unit(self.seed, "xfer-frac", context, entity,
+                                 label, attempt)
+
+    def task_crash(
+        self, tid: int, mb_index: int, attempt: int, context: tuple = ()
+    ) -> Optional[Crash]:
+        """Does this compute attempt crash?  Returns the crash point or None."""
+        key = (self.seed, "crash", context, tid, mb_index, attempt)
+        if unit(*key) >= self.spec.task_crash_rate:
+            return None
+        return Crash(
+            fraction=0.05
+            + 0.9 * unit(self.seed, "crash-frac", context, tid, mb_index, attempt)
+        )
+
+    def gpu_slowdown(self, device: int) -> tuple[float, bool]:
+        """(kernel-time multiplier, persistent?) for ``device``.
+
+        Run-scoped (no context): a straggler stays a straggler across
+        iterations and restarts, which is what makes persistent
+        degradation detectable and re-bind worthwhile.
+        """
+        if unit(self.seed, "slow", device) >= self.spec.gpu_slowdown_rate:
+            return 1.0, False
+        persistent = (
+            unit(self.seed, "slow-persist", device) < self.spec.gpu_persistent_rate
+        )
+        return self.spec.gpu_slowdown_factor, persistent
+
+    def link_degradation(
+        self, link_name: str, epoch: int, context: tuple = ()
+    ) -> float:
+        """Bandwidth multiplier for ``link_name`` during flap epoch ``epoch``."""
+        if unit(self.seed, "flap", context, link_name, epoch) < \
+                self.spec.link_degrade_rate:
+            return self.spec.link_degrade_factor
+        return 1.0
+
+    def host_pressure(self, epoch: int, context: tuple = ()) -> float:
+        """Host-side bandwidth multiplier during pressure epoch ``epoch``."""
+        if unit(self.seed, "pressure", context, epoch) < \
+                self.spec.host_pressure_rate:
+            return self.spec.host_pressure_factor
+        return 1.0
+
+    def describe(self) -> str:
+        return f"FaultPlan(seed={self.seed}, {self.spec.describe()})"
+
+
+class ScriptedFaultPlan(FaultPlan):
+    """A plan whose decisions are spelled out explicitly (for tests).
+
+    ``transfer_faults`` maps ``(label, attempt) -> abort fraction`` (the
+    entity is ignored so a script does not need to know device/stream
+    placement); ``crashes`` maps ``(tid, mb_index, attempt) -> fraction``;
+    ``slowdowns`` maps ``device -> (multiplier, persistent)``.  Context is
+    ignored: scripted faults fire on every restart attempt unless the
+    script keys on ``attempt``.
+    """
+
+    def __init__(
+        self,
+        transfer_faults: Optional[dict[tuple[str, int], float]] = None,
+        crashes: Optional[dict[tuple[int, int, int], float]] = None,
+        slowdowns: Optional[dict[int, tuple[float, bool]]] = None,
+        spec: Optional[FaultSpec] = None,
+    ):
+        super().__init__(spec if spec is not None else FaultSpec(), seed=0)
+        self.transfer_faults = dict(transfer_faults or {})
+        self.crashes = dict(crashes or {})
+        self.slowdowns = dict(slowdowns or {})
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.transfer_faults or self.crashes or self.slowdowns
+            or self.spec.any_enabled
+        )
+
+    def transfer_fault(
+        self, entity: str, label: str, attempt: int, context: tuple = ()
+    ) -> Optional[float]:
+        if (label, attempt) in self.transfer_faults:
+            return self.transfer_faults[(label, attempt)]
+        return super().transfer_fault(entity, label, attempt, context)
+
+    def task_crash(
+        self, tid: int, mb_index: int, attempt: int, context: tuple = ()
+    ) -> Optional[Crash]:
+        if (tid, mb_index, attempt) in self.crashes:
+            return Crash(fraction=self.crashes[(tid, mb_index, attempt)])
+        return super().task_crash(tid, mb_index, attempt, context)
+
+    def gpu_slowdown(self, device: int) -> tuple[float, bool]:
+        if device in self.slowdowns:
+            return self.slowdowns[device]
+        return super().gpu_slowdown(device)

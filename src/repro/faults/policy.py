@@ -1,0 +1,58 @@
+"""Recovery policy knobs: how hard the runtime fights injected faults.
+
+Kept free of runtime imports so the executor can import it without
+creating a cycle through the :mod:`repro.faults` package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tunables for every recovery mechanism, in escalation order.
+
+    Transient transfer faults retry with exponential backoff; a p2p path
+    that keeps failing degrades to a host-staged swap route; a crashed
+    compute attempt retries from its still-resident inputs; an iteration
+    that dies anyway restarts from the iteration-boundary checkpoint; and
+    a persistently slow GPU gets its tasks re-bound to a healthy device
+    at the next iteration boundary (late binding makes the same schedule
+    valid under the new assignment).
+    """
+
+    #: retries per transfer before escalating (fallback or fatal)
+    max_transfer_retries: int = 3
+    #: virtual seconds of backoff before the first transfer retry
+    backoff_base: float = 0.002
+    #: multiplier applied to the backoff per further retry
+    backoff_factor: float = 2.0
+    #: degrade an exhausted p2p transfer to a host-staged swap route
+    p2p_fallback: bool = True
+    #: compute retries per task attempt before the fault is fatal
+    max_task_retries: int = 2
+    #: iteration-boundary checkpoint/restart attempts per iteration
+    max_iteration_restarts: int = 2
+    #: re-bind a persistently degraded GPU's tasks at iteration boundaries
+    rebind: bool = True
+    #: persistent slow-down multiplier at or above which re-bind triggers
+    rebind_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.max_transfer_retries < 0:
+            raise ValueError("max_transfer_retries must be >= 0")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.max_iteration_restarts < 0:
+            raise ValueError("max_iteration_restarts must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.rebind_threshold < 1.0:
+            raise ValueError("rebind_threshold must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-indexed)."""
+        return self.backoff_base * self.backoff_factor ** attempt

@@ -1,0 +1,324 @@
+"""Fault-tolerant execution: checkpoint/restart, re-bind, invariants.
+
+The :class:`FaultTolerantRunner` wraps the plain executor with the two
+recovery mechanisms that live *above* a single iteration:
+
+- **iteration-boundary checkpoint/restart** -- synchronous SGD flushes all
+  state to host at every iteration boundary (that is the Harmony execution
+  model), so the last completed iteration is always a consistent
+  checkpoint.  An iteration attempt killed by an escalated fault is simply
+  re-run on a fresh simulated server, with fresh (still seed-deterministic)
+  fault dice for the ``(iteration, attempt)`` context -- otherwise the
+  identical fault would deterministically recur forever;
+- **late-binding re-bind** -- tasks carry a device *binding*, not an
+  identity (Section 4.3.2's late binding), so at an iteration boundary the
+  tasks of a persistently degraded GPU can be re-bound to a healthy spare
+  device.  P2P moves whose endpoints collapse onto one device become LOCAL
+  (no traffic), exactly the transformation :func:`rebind_graph` performs.
+
+The runner also audits every completed iteration with
+:func:`check_byte_invariants`: whatever faults were injected and recovered,
+the bytes that actually moved must still reconcile with the task graph's
+static totals (fallback traffic re-accounted, nothing lost, nothing
+double-counted).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import (
+    FaultError,
+    GpuDegradedError,
+    SimulationError,
+    UnrecoveredFaultError,
+)
+from repro.core.types import Channel, Move, Task, TaskGraph
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RecoveryPolicy
+from repro.hardware.server import ServerSpec, SimulatedServer
+from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
+from repro.runtime.metrics import GpuMetrics, RecoveryMetrics, RunMetrics
+from repro.runtime.timemodel import TrueTimeModel
+from repro.sim.engine import Simulator
+
+
+def _remap_move(move: Move, task_device: dict[int, int],
+                device_map: dict[int, int], new_device: int) -> Move:
+    """Re-target one move after its task moved to ``new_device``."""
+    peer = move.peer
+    if peer is not None:
+        peer = device_map.get(peer, peer)
+    if move.channel is Channel.P2P:
+        src = (
+            task_device[move.src_task]
+            if move.src_task is not None else peer
+        )
+        if src == new_device:
+            # Producer and consumer collapsed onto one device: the
+            # transfer disappears (the analyzer rejects same-device P2P).
+            return Move(
+                tensor=move.tensor, nbytes=move.nbytes,
+                channel=Channel.LOCAL, peer=None,
+                src_task=move.src_task, label=move.label,
+            )
+    if peer is not move.peer:
+        return Move(
+            tensor=move.tensor, nbytes=move.nbytes, channel=move.channel,
+            peer=peer, src_task=move.src_task, label=move.label,
+        )
+    return move
+
+
+def rebind_graph(graph: TaskGraph, mapping: dict[int, int],
+                 n_devices: Optional[int] = None) -> TaskGraph:
+    """Re-bind every task on ``mapping``'s source devices to its target.
+
+    Late binding makes this legal: the schedule's structure (task order,
+    dependencies, move lists) is untouched; only device bindings change.
+    P2P moves whose endpoints land on the same device are converted to
+    LOCAL.  Raises :class:`GpuDegradedError` if a target device is itself
+    a mapping source (i.e. still degraded) and ``ValueError`` on an
+    out-of-range target.
+    """
+    bound = n_devices if n_devices is not None else graph.n_devices
+    for src, dst in mapping.items():
+        if not 0 <= dst < bound:
+            raise ValueError(
+                f"rebind target gpu{dst} outside device range [0, {bound})"
+            )
+        if dst in mapping:
+            raise GpuDegradedError(
+                f"cannot re-bind gpu{src} onto gpu{dst}: the target is "
+                f"itself degraded", entity=f"gpu{dst}",
+            )
+    task_device = {
+        t.tid: mapping.get(t.device, t.device) for t in graph.tasks
+    }
+    rebound = TaskGraph(
+        mode=graph.mode,
+        n_devices=bound,
+        pageable_swaps=graph.pageable_swaps,
+    )
+    for task in graph.tasks:
+        new_device = task_device[task.tid]
+        moved: Task = task.with_device(new_device)
+        moved.ins = [
+            _remap_move(m, task_device, mapping, new_device)
+            for m in task.ins
+        ]
+        moved.outs = [
+            _remap_move(m, task_device, mapping, new_device)
+            for m in task.outs
+        ]
+        rebound.add(moved)
+    return rebound
+
+
+def check_byte_invariants(graph: TaskGraph, metrics: RunMetrics) -> None:
+    """Reconcile one iteration's measured traffic with the graph's totals.
+
+    Holds fault or no fault:
+
+    - p2p bytes that actually moved, plus bytes rescued by the
+      p2p->host-staged fallback, equal the graph's static p2p total;
+    - swap bytes equal the graph's static host-link total, plus the extra
+      relay leg of each MSG move (the executor counts both hops of the
+      GPU->host->GPU relay), plus *twice* the fallback bytes (a fallback
+      rides both hops of the same relay route).
+
+    Raises :class:`~repro.common.errors.SimulationError` on mismatch --
+    a recovery path that lost or double-counted traffic.
+    """
+    fallback = metrics.recovery.fallback_bytes
+    actual_p2p = metrics.global_p2p_bytes
+    expected_p2p = graph.p2p_bytes()
+    if actual_p2p + fallback != expected_p2p:
+        raise SimulationError(
+            f"p2p byte accounting broken: moved {actual_p2p} + fallback "
+            f"{fallback} != static {expected_p2p}"
+        )
+    msg_relay = sum(
+        m.nbytes
+        for task in graph.tasks
+        for m in task.ins
+        if m.channel is Channel.MSG and m.src_task is not None
+    )
+    actual_swap = metrics.global_swap_bytes
+    expected_swap = graph.global_swap_bytes() + msg_relay + 2 * fallback
+    if actual_swap != expected_swap:
+        raise SimulationError(
+            f"swap byte accounting broken: moved {actual_swap} != static "
+            f"{graph.global_swap_bytes()} + msg relay {msg_relay} + "
+            f"2*fallback {2 * fallback}"
+        )
+
+
+class FaultTolerantRunner:
+    """Run a task graph under a fault plan, recovering where policy allows.
+
+    Each iteration attempt executes on a fresh :class:`Simulator` and
+    :class:`SimulatedServer` -- the simulated analog of restarting from
+    the iteration-boundary checkpoint.  This is timing-faithful because
+    iterations are flush-separated anyway (synchronous SGD): the plain
+    multi-iteration executor also starts every iteration from an all-idle,
+    all-flushed state.
+    """
+
+    def __init__(
+        self,
+        spec: ServerSpec,
+        time_model: TrueTimeModel,
+        plan: FaultPlan,
+        policy: Optional[RecoveryPolicy] = None,
+        prefetch: bool = True,
+        host_state_bytes: int = 0,
+        max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+        horizon: Optional[float] = None,
+        check_invariants: bool = True,
+    ):
+        self.spec = spec
+        self.time_model = time_model
+        self.plan = plan
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.prefetch = prefetch
+        self.host_state_bytes = host_state_bytes
+        self.max_steps = max_steps
+        self.horizon = horizon
+        self.check_invariants = check_invariants
+
+    # -- re-bind planning ---------------------------------------------------------
+
+    def _rebind_mapping(self, graph: TaskGraph,
+                        injector: FaultInjector) -> dict[int, int]:
+        """Map persistently degraded in-use GPUs to healthy spare devices.
+
+        Only devices the graph actually uses need rescuing; only healthy
+        devices the graph does *not* use can absorb them (piling two
+        devices' tasks onto one GPU would violate the planner's memory
+        fit).  Stragglers with no available spare are tolerated: the run
+        completes, just slower -- degradation, not failure.
+        """
+        degraded = {
+            device: multiplier
+            for device, multiplier, persistent in
+            injector.degraded_gpus(self.spec.n_gpus)
+            if persistent and multiplier >= self.policy.rebind_threshold
+        }
+        if not degraded:
+            return {}
+        used = {task.device for task in graph.tasks}
+        spares = [
+            d for d in range(self.spec.n_gpus)
+            if d not in used and d not in degraded
+        ]
+        mapping: dict[int, int] = {}
+        for device in sorted(d for d in degraded if d in used):
+            if not spares:
+                break
+            mapping[device] = spares.pop(0)
+        return mapping
+
+    # -- execution ----------------------------------------------------------------
+
+    def _attempt(self, graph: TaskGraph, iteration: int, attempt: int,
+                 recovery: RecoveryMetrics) -> RunMetrics:
+        injector = FaultInjector(self.plan, context=(iteration, attempt))
+        sim = Simulator()
+        live = SimulatedServer(sim, self.spec)
+        injector.arm(live)
+        executor = Executor(
+            live, self.time_model,
+            prefetch=self.prefetch,
+            host_state_bytes=self.host_state_bytes,
+            faults=injector,
+            recovery=self.policy,
+            max_steps=self.max_steps,
+            horizon=self.horizon,
+        )
+        try:
+            return executor.run(graph, iterations=1)
+        except FaultError:
+            # The attempt died, but its recovery effort and injected
+            # faults still happened -- fold the partial counters in so
+            # the final report reflects the whole fight, not just the
+            # winning attempt.
+            partial = getattr(executor, "recovery", None)
+            if partial is not None:
+                recovery.accumulate(partial)
+            recovery.faults_injected += injector.total_injected
+            raise
+
+    def run(self, graph: TaskGraph, iterations: int = 1) -> RunMetrics:
+        """Execute ``iterations`` iterations under the fault plan."""
+        if not self.plan.enabled:
+            # Zero-overhead path: no injector, no recovery machinery --
+            # bit-identical to a plain executor run.
+            sim = Simulator()
+            live = SimulatedServer(sim, self.spec)
+            executor = Executor(
+                live, self.time_model,
+                prefetch=self.prefetch,
+                host_state_bytes=self.host_state_bytes,
+                max_steps=self.max_steps,
+                horizon=self.horizon,
+            )
+            return executor.run(graph, iterations=iterations)
+
+        recovery = RecoveryMetrics()
+        gpus = [GpuMetrics() for _ in range(self.spec.n_gpus)]
+        total_time = 0.0
+        host_peak = 0
+        minibatch = 0
+        current = graph
+        rebound_once = False
+        for iteration in range(iterations):
+            if iteration > 0 and self.policy.rebind and not rebound_once:
+                probe = FaultInjector(self.plan)
+                mapping = self._rebind_mapping(current, probe)
+                if mapping:
+                    current = rebind_graph(current, mapping,
+                                           n_devices=self.spec.n_gpus)
+                    recovery.rebinds += len(mapping)
+                    rebound_once = True
+            metrics: Optional[RunMetrics] = None
+            for attempt in range(self.policy.max_iteration_restarts + 1):
+                try:
+                    metrics = self._attempt(current, iteration, attempt,
+                                            recovery)
+                except FaultError as exc:
+                    recovery.faults_fatal += 1
+                    if attempt >= self.policy.max_iteration_restarts:
+                        raise UnrecoveredFaultError(
+                            f"iteration {iteration} failed "
+                            f"{attempt + 1} attempt(s); last fault: {exc}",
+                            entity=getattr(exc, "entity", ""),
+                        ) from exc
+                    recovery.restarts += 1
+                    continue
+                break
+            assert metrics is not None
+            if self.check_invariants:
+                check_byte_invariants(current, metrics)
+            recovery.accumulate(metrics.recovery)
+            for device, g in enumerate(metrics.gpus):
+                gpus[device].accumulate(g)
+            total_time += metrics.iteration_time
+            host_peak = max(host_peak, metrics.host_peak_bytes)
+            minibatch = metrics.minibatch
+        if iterations > 1:
+            for g in gpus:
+                g.swap_in_bytes //= iterations
+                g.swap_out_bytes //= iterations
+                g.p2p_in_bytes //= iterations
+                g.compute_busy /= iterations
+                g.cpu_busy /= iterations
+        return RunMetrics(
+            mode=graph.mode,
+            minibatch=minibatch,
+            iteration_time=total_time / iterations,
+            gpus=gpus,
+            host_peak_bytes=host_peak,
+            recovery=recovery,
+        )

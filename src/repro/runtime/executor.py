@@ -16,27 +16,50 @@ Execution model (Section 4.4 of the paper):
 
 State tensors (weights, gradients, optimizer state) move once per task;
 activation-family tensors (X/Y/DY/CKPT) move per microbatch.
+
+Fault tolerance: when a :class:`~repro.faults.injector.FaultInjector` is
+attached, every transfer and compute attempt first asks it for an injected
+fault.  Transient transfer faults retry with exponential backoff; a p2p
+path that stays faulted degrades to a host-staged swap route (the bytes
+re-accounted as swap traffic, riding the same contended links real swaps
+use); crashed compute attempts retry from their still-resident inputs.
+Faults that exhaust the :class:`~repro.faults.policy.RecoveryPolicy`
+propagate as typed :class:`~repro.common.errors.FaultError` through the
+simulator's failure machinery -- never as a hang, which the simulator
+watchdog (``max_steps`` / ``horizon``) additionally enforces.  With no
+injector attached the fault hooks are never consulted and execution is
+bit-identical to the pre-fault runtime.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from repro.analysis.diagnostics import stream_ref, task_ref
 from repro.common.errors import (
     HostOutOfMemoryError,
     SchedulingError,
     SimulationError,
+    TransferFaultError,
 )
 from repro.core.taskgraph import mb_dependency
 from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
 from repro.hardware.server import SimulatedServer
-from repro.runtime.metrics import GpuMetrics, RunMetrics
+from repro.runtime.metrics import GpuMetrics, RecoveryMetrics, RunMetrics
 from repro.runtime.timemodel import TrueTimeModel
 from repro.sim.engine import Resource, SimEvent, Simulator
-from repro.sim.links import transfer
+from repro.sim.links import Link, transfer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.faults.injector import FaultInjector
+    from repro.faults.policy import RecoveryPolicy
 
 _PER_TASK_TENSORS = frozenset({TensorKind.W, TensorKind.DW, TensorKind.K})
+
+#: Watchdog default: generous enough that no legitimate schedule in the
+#: repository comes within two orders of magnitude, small enough that a
+#: leaked process surfaces as a typed error in bounded wall time.
+DEFAULT_MAX_STEPS = 50_000_000
 
 
 def _is_per_task(move: Move) -> bool:
@@ -81,12 +104,24 @@ class Executor:
         time_model: TrueTimeModel,
         prefetch: bool = True,
         host_state_bytes: int = 0,
+        faults: Optional["FaultInjector"] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
+        max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+        horizon: Optional[float] = None,
     ):
         self.server = server
         self.sim = server.sim
         self.time_model = time_model
         self.prefetch = prefetch
         self.host_state_bytes = host_state_bytes
+        self.faults = faults if (faults is not None and faults.enabled) else None
+        if self.faults is not None and recovery is None:
+            from repro.faults.policy import RecoveryPolicy as _Policy
+
+            recovery = _Policy()
+        self.policy = recovery
+        self.max_steps = max_steps
+        self.horizon = horizon
 
     # -- public -----------------------------------------------------------------
 
@@ -111,6 +146,7 @@ class Executor:
         sim = self.sim
         self._pageable = graph.pageable_swaps
         self.metrics = [GpuMetrics() for _ in range(graph.n_devices)]
+        self.recovery = RecoveryMetrics()
         self._resident = [0] * graph.n_devices
 
         slots = [
@@ -133,7 +169,7 @@ class Executor:
             barrier = sim.all_of(update_flushes or
                                  [rt.outs_flushed for rt in self.runtimes],
                                  name="iteration-barrier")
-            sim.run()
+            sim.run(max_steps=self.max_steps, horizon=self.horizon)
             self._check_completion()
 
         end_time = sim.now
@@ -146,12 +182,15 @@ class Executor:
                 g.p2p_in_bytes //= iterations
                 g.compute_busy /= iterations
                 g.cpu_busy /= iterations
+        if self.faults is not None:
+            self.recovery.faults_injected += self.faults.total_injected
         run = RunMetrics(
             mode=graph.mode,
             minibatch=self._minibatch_of(graph),
             iteration_time=end_time / iterations,
             gpus=self.metrics,
             host_peak_bytes=self._host_peak,
+            recovery=self.recovery,
         )
         return run
 
@@ -234,6 +273,24 @@ class Executor:
             t.group_samples for t in fwd_like if t.last_layer == last
         )
 
+    @staticmethod
+    def _chain(source: SimEvent, target: SimEvent) -> None:
+        """Fire ``target`` when ``source`` fires, propagating failure.
+
+        A bare ``add_callback(lambda _v: target.succeed())`` would mask a
+        failed source (the callback receives the exception as its value),
+        silently completing work that actually died -- exactly the hang-
+        or-lie failure mode the fault machinery must never produce.
+        """
+
+        def relay(_value: object) -> None:
+            if source.failed:
+                target.fail(source.exception)
+            else:
+                target.succeed()
+
+        source.add_callback(relay)
+
     # -- per-device driver ---------------------------------------------------------
 
     def _driver(self, device: int, tasks: list[Task], slots: Resource,
@@ -261,6 +318,47 @@ class Executor:
     def _track_free(self, device: int, task: Task) -> None:
         self._resident[device] -= task.resident_bytes
 
+    # -- fault-aware transfer -----------------------------------------------------
+
+    def _transfer(self, path: Sequence[Link], nbytes: int, device: int,
+                  stream: str, label: str) -> Generator:
+        """One logical transfer, retried per the recovery policy.
+
+        Without an injector this is exactly :func:`repro.sim.links.transfer`
+        (zero overhead when faults are off).  With one, each attempt asks
+        the injector for a fault; transient faults back off exponentially
+        and retry, and a fault on the last permitted attempt propagates as
+        :class:`TransferFaultError` for the caller (p2p fallback, or the
+        simulator's failure machinery) to handle.
+        """
+        if self.faults is None:
+            yield from transfer(self.sim, path, nbytes)
+            return
+        attempt = 0
+        while True:
+            fault = self.faults.transfer_fault(device, stream, label, attempt)
+            try:
+                yield from transfer(self.sim, path, nbytes, fault=fault)
+                return
+            except TransferFaultError:
+                assert self.policy is not None
+                if attempt >= self.policy.max_transfer_retries:
+                    raise
+                self.recovery.transfer_retries += 1
+                backoff = self.policy.backoff(attempt)
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+                attempt += 1
+
+    def _host_staged_paths(self, src_device: int,
+                           dst_device: int) -> tuple[list[Link], list[Link]]:
+        """The two legs of a GPU->host->GPU relay (the MSG channel route)."""
+        down = self.server.tree.gpu_to_host(src_device) + [
+            self.server.pageable_staging
+        ]
+        up = self.server.tree.host_to_gpu(dst_device)
+        return down, up
+
     # -- fetch side -------------------------------------------------------------------
 
     def _dep_event(self, move: Move, consumer: Task, mb_index: Optional[int]) -> Optional[SimEvent]:
@@ -280,22 +378,24 @@ class Executor:
         dep_map = mb_dependency(producer.task.microbatches, consumer.microbatches)
         return producer.mb_done[dep_map[mb_index]]
 
-    def _in_path(self, device: int, move: Move):
-        if move.channel is Channel.P2P:
-            src_device = (
-                self.runtimes[move.src_task].task.device
-                if move.src_task is not None else move.peer
-            )
-            if src_device is None:
-                raise SchedulingError(f"p2p move {move.label!r} has no source")
-            return self.server.tree.gpu_to_gpu(src_device, device)
+    def _p2p_source(self, device: int, move: Move) -> int:
+        src_device = (
+            self.runtimes[move.src_task].task.device
+            if move.src_task is not None else move.peer
+        )
+        if src_device is None:
+            raise SchedulingError(f"p2p move {move.label!r} has no source")
+        return src_device
+
+    def _swap_in_path(self, device: int) -> list[Link]:
         path = self.server.tree.host_to_gpu(device)
         if self._pageable:
             path = path + [self.server.pageable_staging]
         return path
 
     def _fetch_op(self, device: int, move: Move, nbytes: int,
-                  dep: Optional[SimEvent]) -> Generator:
+                  dep: Optional[SimEvent], label: str = "") -> Generator:
+        label = label or move.label
         if dep is not None:
             yield dep
         if move.channel is Channel.LOCAL or nbytes == 0:
@@ -304,21 +404,47 @@ class Executor:
             # Message passing: relay GPU -> host staging -> GPU.  Pays both
             # PCIe hops plus the host-side copy.
             src_device = self.runtimes[move.src_task].task.device
-            down = self.server.tree.gpu_to_host(src_device) + [
-                self.server.pageable_staging
-            ]
-            up = self.server.tree.host_to_gpu(device)
-            yield from transfer(self.sim, down, nbytes)
-            yield from transfer(self.sim, up, nbytes)
+            down, up = self._host_staged_paths(src_device, device)
+            yield from self._transfer(down, nbytes, device, "swap_in", label)
+            yield from self._transfer(up, nbytes, device, "swap_in",
+                                      f"{label}^")
             self.metrics[src_device].swap_out_bytes += nbytes
             self.metrics[device].swap_in_bytes += nbytes
             return
-        path = self._in_path(device, move)
-        yield from transfer(self.sim, path, nbytes)
         if move.channel is Channel.P2P:
+            src_device = self._p2p_source(device, move)
+            path = self.server.tree.gpu_to_gpu(src_device, device)
+            try:
+                yield from self._transfer(path, nbytes, device, "p2p_in",
+                                          label)
+            except TransferFaultError:
+                assert self.policy is not None
+                if not self.policy.p2p_fallback:
+                    raise
+                # Graceful degradation: stage the chunk through host memory
+                # on the swap route.  Bytes are re-accounted as swap traffic
+                # on both endpoints (they now ride the contended host links)
+                # and no longer count as p2p.
+                yield from self._p2p_fallback_op(src_device, device, label,
+                                                nbytes)
+                return
             self.metrics[device].p2p_in_bytes += nbytes
-        else:
-            self.metrics[device].swap_in_bytes += nbytes
+            return
+        path = self._swap_in_path(device)
+        yield from self._transfer(path, nbytes, device, "swap_in", label)
+        self.metrics[device].swap_in_bytes += nbytes
+
+    def _p2p_fallback_op(self, src_device: int, device: int, label: str,
+                         nbytes: int) -> Generator:
+        down, up = self._host_staged_paths(src_device, device)
+        yield from self._transfer(down, nbytes, device, "swap_in",
+                                  f"{label}~fallback")
+        yield from self._transfer(up, nbytes, device, "swap_in",
+                                  f"{label}~fallback^")
+        self.metrics[src_device].swap_out_bytes += nbytes
+        self.metrics[device].swap_in_bytes += nbytes
+        self.recovery.p2p_fallbacks += 1
+        self.recovery.fallback_bytes += nbytes
 
     def _submit_fetch(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
@@ -334,7 +460,7 @@ class Executor:
                     if dep is None:
                         event.succeed()
                     else:
-                        dep.add_callback(lambda _v, e=event: e.succeed())
+                        self._chain(dep, event)
                     state_events.append(event)
                     continue
                 state_events.append(streams.swap_in.submit(
@@ -350,7 +476,7 @@ class Executor:
                         if dep is None:
                             event.succeed()
                         else:
-                            dep.add_callback(lambda _v, e=event: e.succeed())
+                            self._chain(dep, event)
                         mb_events[i].append(event)
                         continue
                     stream = (
@@ -358,7 +484,8 @@ class Executor:
                         else streams.swap_in
                     )
                     mb_events[i].append(stream.submit(
-                        self._fetch_op(device, move, chunk, dep),
+                        self._fetch_op(device, move, chunk, dep,
+                                       label=f"{move.label}#{i}"),
                         label=f"{move.label}#{i}",
                     ))
 
@@ -368,6 +495,33 @@ class Executor:
         ]
 
     # -- compute side ------------------------------------------------------------------
+
+    def _compute_attempt(self, device: int, rt: _TaskRuntime, index: int,
+                         duration: float) -> Generator:
+        """Run one microbatch's kernels, retrying injected crashes.
+
+        A crash wastes a fraction of the attempt's compute time (counted
+        as busy -- the GPU really ran those kernels) and retries from the
+        task's inputs, which are still resident on the device.  A crash on
+        the final permitted attempt raises :class:`TaskCrashError`.
+        """
+        task = rt.task
+        attempt = 0
+        while self.faults is not None:
+            crash = self.faults.crash_fault(task.tid, device, index, attempt)
+            if crash is None:
+                break
+            start = self.sim.now
+            yield self.sim.timeout(duration * crash.fraction)
+            self.metrics[device].compute_busy += self.sim.now - start
+            assert self.policy is not None
+            if attempt >= self.policy.max_task_retries:
+                raise crash.error
+            self.recovery.compute_retries += 1
+            attempt += 1
+        start = self.sim.now
+        yield self.sim.timeout(duration)
+        self.metrics[device].compute_busy += self.sim.now - start
 
     def _submit_compute(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
@@ -379,21 +533,21 @@ class Executor:
         def mb_op(index: int, u: int) -> Generator:
             yield rt.input_ready[index]
             duration = self.time_model.microbatch_time(task, u)
-            start = self.sim.now
-            yield self.sim.timeout(duration)
-            self.metrics[device].compute_busy += self.sim.now - start
+            if self.faults is not None:
+                duration *= self.faults.compute_multiplier(device)
+            yield from self._compute_attempt(device, rt, index, duration)
             rt.mb_done[index].succeed()
 
         for i, u in enumerate(task.microbatches):
             streams.compute.submit(mb_op(i, u), label=f"{task.label}#{i}")
-        self.sim.all_of(rt.mb_done).add_callback(
-            lambda _v: rt.done.succeed()
-        )
+        self._chain(self.sim.all_of(rt.mb_done), rt.done)
 
     def _submit_update(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
         streams = self.server.streams[device]
         duration = self.time_model.update_time(task)
+        if self.faults is not None and not task.on_cpu:
+            duration *= self.faults.compute_multiplier(device)
 
         def op() -> Generator:
             yield rt.input_ready[0] if rt.input_ready else rt.state_ready
@@ -417,14 +571,15 @@ class Executor:
     # -- output side --------------------------------------------------------------------
 
     def _out_op(self, device: int, move: Move, nbytes: int,
-                after: SimEvent) -> Generator:
+                after: SimEvent, label: str = "") -> Generator:
         yield after
         if move.channel is Channel.LOCAL or nbytes == 0:
             return
         path = self.server.tree.gpu_to_host(device)
         if self._pageable:
             path = path + [self.server.pageable_staging]
-        yield from transfer(self.sim, path, nbytes)
+        yield from self._transfer(path, nbytes, device, "swap_out",
+                                  label or move.label)
         self.metrics[device].swap_out_bytes += nbytes
 
     def _submit_outs(self, device: int, rt: _TaskRuntime) -> None:
@@ -441,11 +596,12 @@ class Executor:
                 chunks = _chunk_sizes(move.nbytes, task.microbatches)
                 for i, chunk in enumerate(chunks):
                     events.append(streams.swap_out.submit(
-                        self._out_op(device, move, chunk, rt.mb_done[i]),
+                        self._out_op(device, move, chunk, rt.mb_done[i],
+                                     label=f"{move.label}#{i}"),
                         label=f"{move.label}#{i}",
                     ))
         gate = self.sim.all_of(events + [rt.done])
-        gate.add_callback(lambda _v: rt.outs_flushed.succeed())
+        self._chain(gate, rt.outs_flushed)
 
 
 def run_task_graph(
@@ -455,13 +611,19 @@ def run_task_graph(
     prefetch: bool = True,
     host_state_bytes: int = 0,
     analyze: str = "off",
+    faults: Optional["FaultInjector"] = None,
+    recovery: Optional["RecoveryPolicy"] = None,
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+    horizon: Optional[float] = None,
 ) -> RunMetrics:
     """Convenience wrapper: execute ``graph`` once and return metrics.
 
     ``analyze`` gates the static schedule verifier: ``"warn"`` prints
     diagnostics to stderr, ``"strict"`` raises
     :class:`~repro.common.errors.ScheduleAnalysisError` instead of
-    executing an unsafe schedule.
+    executing an unsafe schedule.  ``faults`` attaches a chaos injector
+    (see :mod:`repro.faults`); ``max_steps`` / ``horizon`` bound the
+    simulator watchdog.
     """
     if analyze not in ("off", "warn", "strict"):
         raise ValueError(
@@ -483,6 +645,7 @@ def run_task_graph(
 
             print(report.describe(), file=sys.stderr)
     executor = Executor(
-        server, time_model, prefetch=prefetch, host_state_bytes=host_state_bytes
+        server, time_model, prefetch=prefetch, host_state_bytes=host_state_bytes,
+        faults=faults, recovery=recovery, max_steps=max_steps, horizon=horizon,
     )
     return executor.run(graph)

@@ -2,7 +2,9 @@
 
 Everything the paper's figures plot comes from here: iteration time (and
 thus throughput), per-GPU swap-in/out volume, global swap volume, p2p
-volume, per-stream busy time, and memory high-water marks.
+volume, per-stream busy time, and memory high-water marks.  Fault-tolerant
+runs additionally report recovery counters (retries, p2p->swap fallbacks,
+re-binds, restarts) through :class:`RecoveryMetrics`.
 """
 
 from __future__ import annotations
@@ -25,6 +27,71 @@ class GpuMetrics:
     def swap_bytes(self) -> int:
         return self.swap_in_bytes + self.swap_out_bytes
 
+    def accumulate(self, other: "GpuMetrics") -> None:
+        """Fold another iteration's counters into this one (summing)."""
+        self.swap_in_bytes += other.swap_in_bytes
+        self.swap_out_bytes += other.swap_out_bytes
+        self.p2p_in_bytes += other.p2p_in_bytes
+        self.compute_busy += other.compute_busy
+        self.cpu_busy += other.cpu_busy
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, other.peak_resident_bytes
+        )
+
+
+@dataclass
+class RecoveryMetrics:
+    """Every recovery action a fault-tolerant run took, by mechanism.
+
+    ``faults_injected`` counts fault deliveries by the chaos engine
+    (transfer faults, crashes, degraded-link path acquisitions, straggler
+    GPUs, pressure epochs); the remaining counters say what the runtime
+    did about them.  ``faults_fatal`` counts fault escalations that killed
+    a whole iteration attempt (each one pairs with a restart, except the
+    last when the run ultimately failed).
+    """
+
+    transfer_retries: int = 0
+    compute_retries: int = 0
+    p2p_fallbacks: int = 0
+    fallback_bytes: int = 0
+    rebinds: int = 0
+    restarts: int = 0
+    faults_injected: int = 0
+    faults_fatal: int = 0
+
+    @property
+    def total_actions(self) -> int:
+        return (
+            self.transfer_retries + self.compute_retries + self.p2p_fallbacks
+            + self.rebinds + self.restarts
+        )
+
+    @property
+    def any(self) -> bool:
+        return self.total_actions > 0 or self.faults_injected > 0
+
+    def accumulate(self, other: "RecoveryMetrics") -> None:
+        self.transfer_retries += other.transfer_retries
+        self.compute_retries += other.compute_retries
+        self.p2p_fallbacks += other.p2p_fallbacks
+        self.fallback_bytes += other.fallback_bytes
+        self.rebinds += other.rebinds
+        self.restarts += other.restarts
+        self.faults_injected += other.faults_injected
+        self.faults_fatal += other.faults_fatal
+
+    def describe(self) -> str:
+        return (
+            f"faults {self.faults_injected} injected / "
+            f"{self.faults_fatal} fatal; recovery: "
+            f"{self.transfer_retries} transfer retries, "
+            f"{self.compute_retries} compute retries, "
+            f"{self.p2p_fallbacks} p2p->swap fallbacks "
+            f"({self.fallback_bytes / 2**20:.2f} MiB), "
+            f"{self.rebinds} rebinds, {self.restarts} restarts"
+        )
+
 
 @dataclass
 class RunMetrics:
@@ -35,10 +102,11 @@ class RunMetrics:
     iteration_time: float
     gpus: list[GpuMetrics] = field(default_factory=list)
     host_peak_bytes: int = 0
+    recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
 
     @property
     def throughput(self) -> float:
-        """Samples per second."""
+        """Samples per second.  0.0 on a degenerate (zero-duration) run."""
         if self.iteration_time <= 0:
             return 0.0
         return self.minibatch / self.iteration_time
@@ -53,6 +121,12 @@ class RunMetrics:
         return sum(g.p2p_in_bytes for g in self.gpus)
 
     def idle_fraction(self, gpu: int) -> float:
+        """Fraction of the iteration ``gpu`` spent idle.
+
+        0.0 on a degenerate run (no virtual time elapsed): an idle
+        fraction of an instantaneous run is meaningless, and callers
+        plotting it want a finite number, not a ZeroDivisionError.
+        """
         if self.iteration_time <= 0:
             return 0.0
         busy = self.gpus[gpu].compute_busy
@@ -71,4 +145,6 @@ class RunMetrics:
                 f"out {g.swap_out_bytes / 2**30:.2f} GiB, "
                 f"idle {self.idle_fraction(i) * 100:.0f}%"
             )
+        if self.recovery.any:
+            lines.append(f"  {self.recovery.describe()}")
         return "\n".join(lines)

@@ -6,8 +6,23 @@ event fires.  The :class:`Simulator` owns virtual time and a binary heap of
 scheduled callbacks.
 
 Only the features the Harmony runtime needs are implemented -- timeouts,
-composable events, FIFO resources -- which keeps the kernel small enough to
-reason about and fully unit-tested.
+composable events, FIFO resources, interruptible (failable) events, and a
+watchdog -- which keeps the kernel small enough to reason about and fully
+unit-tested.
+
+Failure model
+-------------
+
+An event can *fail* instead of succeeding (:meth:`SimEvent.fail`).  A
+process waiting on a failed event has the exception thrown into its
+generator at the ``yield``, so it can catch and recover (retry a faulted
+transfer) or let it propagate, failing the process's own completion event
+in turn.  A failure that reaches an event nobody waits on is *unhandled*:
+the simulator re-raises it out of :meth:`Simulator.run` instead of
+silently swallowing it.  The net effect is the guarantee the fault
+subsystem (:mod:`repro.faults`) builds on: an injected fault either gets
+handled by a recovery policy or surfaces as a typed exception -- never as
+a hang.
 """
 
 from __future__ import annotations
@@ -25,8 +40,10 @@ class SimEvent:
     """A one-shot event that processes can wait on.
 
     An event starts *pending*; calling :meth:`succeed` fires it, resuming
-    every waiting process with ``value``.  Waiting on an already-fired
-    event resumes the waiter immediately (on the next simulator step).
+    every waiting process with ``value``, and calling :meth:`fail` fires
+    it in the failed state, throwing the exception into every waiting
+    process.  Waiting on an already-fired event resumes the waiter
+    immediately (on the next simulator step).
 
     ``name`` identifies the event in error messages; the runtime names
     its task events with the same ``t<tid>`` / ``gpu<d>.<stream>``
@@ -34,13 +51,14 @@ class SimEvent:
     and a pre-run diagnostic point at the same schedule entity.
     """
 
-    __slots__ = ("sim", "name", "_fired", "_value", "_waiters")
+    __slots__ = ("sim", "name", "_fired", "_value", "_exc", "_waiters")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self._fired = False
         self._value: Any = None
+        self._exc: Optional[BaseException] = None
         self._waiters: list[Callable[[Any], None]] = []
 
     def _label(self) -> str:
@@ -51,11 +69,22 @@ class SimEvent:
         return self._fired
 
     @property
+    def failed(self) -> bool:
+        """True once the event has fired in the failed state."""
+        return self._fired and self._exc is not None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    @property
     def value(self) -> Any:
         if not self._fired:
             raise SimulationError(
                 f"{self._label()} value read before the event fired"
             )
+        if self._exc is not None:
+            raise self._exc
         return self._value
 
     def succeed(self, value: Any = None) -> "SimEvent":
@@ -69,11 +98,39 @@ class SimEvent:
             self.sim.schedule(0.0, callback, value)
         return self
 
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Fire the event in the failed state.
+
+        Every waiter is woken with the exception (processes have it thrown
+        into their generator).  If nobody is waiting, the failure is
+        recorded as *unhandled* and :meth:`Simulator.run` re-raises it on
+        its next step -- a fault can terminate the run with a typed error
+        but can never be silently lost.
+        """
+        if self._fired:
+            raise SimulationError(f"{self._label()} fired twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(
+                f"{self._label()} failed with non-exception {exc!r}"
+            )
+        self._fired = True
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        if not waiters:
+            self.sim._unhandled.append((self, exc))
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, exc)
+        return self
+
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Invoke ``callback(value)`` when the event fires (immediately if
-        it already has)."""
+        it already has).  On a failed event the callback receives the
+        exception instance as its value; composite events and processes
+        inspect :attr:`failed` to tell the cases apart."""
         if self._fired:
-            self.sim.schedule(0.0, callback, self._value)
+            self.sim.schedule(
+                0.0, callback, self._exc if self._exc is not None else self._value
+            )
         else:
             self._waiters.append(callback)
 
@@ -92,7 +149,10 @@ class AllOf(SimEvent):
     """Fires once every event in ``events`` has fired.
 
     The value is the list of constituent event values, in input order.
-    An empty input fires immediately.
+    An empty input fires immediately.  If any constituent fails, the
+    composite fails with the first such exception (the remaining
+    constituents are still awaited by whoever holds them, but this event
+    reports the failure as soon as it is known).
     """
 
     def __init__(self, sim: "Simulator", events: Iterable[SimEvent],
@@ -104,12 +164,17 @@ class AllOf(SimEvent):
             sim.schedule(0.0, self.succeed, [])
             return
         for event in self._events:
-            event.add_callback(self._one_done)
+            event.add_callback(lambda _v, e=event: self._one_done(e))
 
-    def _one_done(self, _value: Any) -> None:
+    def _one_done(self, event: SimEvent) -> None:
+        if self._fired:
+            return
+        if event.failed:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed([event.value for event in self._events])
+            self.succeed([e.value for e in self._events])
 
 
 class Process(SimEvent):
@@ -117,26 +182,44 @@ class Process(SimEvent):
 
     The process event itself fires when the generator returns; its value is
     the generator's return value, so processes compose (a process may yield
-    another process to join it).
+    another process to join it).  An exception escaping the generator --
+    either raised directly or thrown in by a failed event it was waiting
+    on -- fails the process event, propagating the failure to joiners.
     """
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "proc"):
         super().__init__(sim, name=name)
         self._body = body
+        sim._register_process(self)
         sim.schedule(0.0, self._step, None)
 
     def _step(self, value: Any) -> None:
+        self._advance(self._body.send, value)
+
+    def _resume(self, event: SimEvent) -> None:
+        if event.failed:
+            self._advance(self._body.throw, event.exception)
+        else:
+            self._advance(self._body.send, event.value)
+
+    def _advance(self, dispatch: Callable[[Any], Any], arg: Any) -> None:
         try:
-            target = self._body.send(value)
+            target = dispatch(arg)
         except StopIteration as stop:
             self.succeed(stop.value)
+            return
+        except SimulationError:
+            # Kernel-invariant violations abort the simulation outright.
+            raise
+        except BaseException as exc:
+            self.fail(exc)
             return
         if not isinstance(target, SimEvent):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield SimEvent instances"
             )
-        target.add_callback(self._step)
+        target.add_callback(lambda _v, ev=target: self._resume(ev))
 
 
 class Resource:
@@ -179,17 +262,32 @@ class Resource:
 
 
 class Simulator:
-    """The event loop: virtual clock plus a heap of scheduled callbacks."""
+    """The event loop: virtual clock plus a heap of scheduled callbacks.
+
+    The loop carries a watchdog: ``run(max_steps=...)`` bounds the number
+    of executed callbacks and ``run(horizon=...)`` bounds virtual time;
+    exceeding either raises :class:`SimulationError` naming the processes
+    still pending, instead of looping (or advancing virtual time) forever
+    when a process leaks.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
+        self._steps = 0
+        self._unhandled: list[tuple[SimEvent, BaseException]] = []
+        self._processes: list[Process] = []
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Callbacks executed so far (the watchdog's step counter)."""
+        return self._steps
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -211,19 +309,63 @@ class Simulator:
         """Register a generator as a process starting at the current time."""
         return Process(self, body, name=name)
 
-    def run(self, until: Optional[float] = None) -> float:
+    def _register_process(self, process: Process) -> None:
+        self._processes.append(process)
+
+    def _pending_processes(self, limit: int = 8) -> str:
+        pending = [p.name for p in self._processes if not p.fired]
+        shown = ", ".join(repr(n) for n in pending[:limit])
+        more = len(pending) - min(len(pending), limit)
+        if more > 0:
+            shown += f", +{more} more"
+        return shown or "(none)"
+
+    def _raise_unhandled(self) -> None:
+        event, exc = self._unhandled[0]
+        self._unhandled.clear()
+        raise exc
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> float:
         """Execute events until the heap drains (or ``until`` is reached).
+
+        ``until`` pauses quietly at the given virtual time (resumable);
+        ``max_steps`` / ``horizon`` are watchdog limits -- exceeding
+        either raises :class:`SimulationError` naming the still-pending
+        processes.  An unhandled event failure (see :meth:`SimEvent.fail`)
+        is re-raised out of this method.
 
         Returns the final simulation time.
         """
+        if self._unhandled:
+            self._raise_unhandled()
         while self._heap:
             time, _seq, callback, args = self._heap[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
+            if horizon is not None and time > horizon:
+                raise SimulationError(
+                    f"simulation exceeded its virtual-time horizon "
+                    f"({horizon:.6g}s) with work still pending; pending "
+                    f"processes: {self._pending_processes()}"
+                )
+            if max_steps is not None and self._steps >= max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {max_steps} steps without "
+                    f"draining (suspected runaway or leaked process); "
+                    f"pending processes: {self._pending_processes()}"
+                )
             heapq.heappop(self._heap)
             if time < self._now - 1e-12:
                 raise SimulationError("event heap time went backwards")
             self._now = time
+            self._steps += 1
             callback(*args)
+            if self._unhandled:
+                self._raise_unhandled()
         return self._now

@@ -10,18 +10,35 @@ This is the mechanism that exposes the paper's PCIe oversubscription
 bottleneck (Figure 2a): several GPUs swapping to host all contend on the
 shared upstream link, so aggregate swap time grows with the number of
 swapping GPUs even though each GPU has a dedicated x16 leaf link.
+
+Fault hooks
+-----------
+
+Two fault-injection surfaces live here so the chaos subsystem
+(:mod:`repro.faults`) never has to reach into transfer internals:
+
+- ``Link.degradation`` -- an optional function of virtual time returning
+  a bandwidth multiplier in ``(0, 1]``; models link flapping, congestion
+  episodes, and host-memory-pressure slowdowns.  Sampled when a transfer
+  acquires the path, like real cut-through routing locks in a rate.
+- ``transfer(..., fault=...)`` -- aborts the transfer partway: the links
+  are held for ``fault.fraction`` of the nominal duration (the wasted
+  bus time is real contention other transfers observe), *no* bytes are
+  accounted as moved, and ``fault.error`` is raised for the caller's
+  retry/fallback policy to handle.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Optional, Sequence
 
-from repro.common.errors import SimulationError
-from repro.sim.engine import Resource, SimEvent, Simulator
+from repro.common.errors import SimulationError, TransferFaultError
+from repro.sim.engine import Resource, Simulator
 
 
 class Link:
-    """One direction of an interconnect hop with a fixed bandwidth."""
+    """One direction of an interconnect hop with a fixed nominal bandwidth."""
 
     _next_id = 0
 
@@ -30,35 +47,90 @@ class Link:
             raise SimulationError(f"link {name!r} bandwidth must be positive")
         self.sim = sim
         self.name = name
-        self.bandwidth = float(bandwidth)  # bytes per second
+        self.bandwidth = float(bandwidth)  # nominal bytes per second
         self.bytes_moved = 0
         self.busy_time = 0.0
+        #: Optional time-varying bandwidth multiplier (fault injection).
+        self.degradation: Optional[Callable[[float], float]] = None
         self._resource = Resource(sim, capacity=1, name=name)
         self.link_id = Link._next_id
         Link._next_id += 1
+
+    def effective_bandwidth(self, now: float) -> float:
+        """Bandwidth after any injected degradation, at virtual time ``now``."""
+        if self.degradation is None:
+            return self.bandwidth
+        factor = self.degradation(now)
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(
+                f"link {self.name!r} degradation factor {factor} outside (0, 1]"
+            )
+        return self.bandwidth * factor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, {self.bandwidth / 1e9:.1f} GB/s)"
 
 
-def transfer(sim: Simulator, path: Sequence[Link], nbytes: int) -> Generator:
+@dataclass(frozen=True)
+class TransferFault:
+    """Instruction to abort a transfer partway through.
+
+    ``fraction`` is how far through the nominal hold time the abort
+    strikes; ``error`` is the typed exception raised to the caller.
+    """
+
+    error: TransferFaultError
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise SimulationError(
+                f"transfer fault fraction {self.fraction} outside [0, 1]"
+            )
+
+
+def transfer(
+    sim: Simulator,
+    path: Sequence[Link],
+    nbytes: int,
+    fault: Optional[TransferFault] = None,
+) -> Generator:
     """Generator op that moves ``nbytes`` over ``path``.
 
     Acquires every link (in canonical id order, preventing deadlock), holds
-    all of them for ``nbytes / min(bandwidth)`` seconds, then releases.
-    Yields from inside, so it is submitted to a :class:`Stream` or run as a
-    process directly.
+    all of them for ``nbytes / min(effective bandwidth)`` seconds, then
+    releases.  Yields from inside, so it is submitted to a :class:`Stream`
+    or run as a process directly.
+
+    With ``fault`` set, the links are held for ``fault.fraction`` of the
+    duration, released, and ``fault.error`` is raised; the aborted bytes
+    are **not** counted in ``bytes_moved`` (goodput accounting) though the
+    wasted hold time is counted in ``busy_time`` (it was real contention).
     """
     if nbytes < 0:
         raise SimulationError(f"negative transfer size: {nbytes}")
     if not path:
+        if fault is not None:
+            raise fault.error
         return
     if nbytes == 0:
+        if fault is not None:
+            raise fault.error
         return
     ordered = sorted(path, key=lambda link: link.link_id)
     for link in ordered:
         yield link._resource.request()
-    duration = nbytes / min(link.bandwidth for link in path)
+    duration = nbytes / min(
+        link.effective_bandwidth(sim.now) for link in path
+    )
+    if fault is not None:
+        held = duration * fault.fraction
+        if held > 0:
+            yield sim.timeout(held)
+        for link in ordered:
+            link.busy_time += held
+            link._resource.release()
+        raise fault.error
     yield sim.timeout(duration)
     for link in ordered:
         link.bytes_moved += nbytes
@@ -67,7 +139,11 @@ def transfer(sim: Simulator, path: Sequence[Link], nbytes: int) -> Generator:
 
 
 def path_time(path: Iterable[Link], nbytes: int) -> float:
-    """Uncontended transfer time for ``nbytes`` over ``path`` (estimation)."""
+    """Uncontended transfer time for ``nbytes`` over ``path`` (estimation).
+
+    Uses nominal bandwidths: the Scheduler's estimator plans for the
+    healthy machine; injected degradation is the runtime's problem.
+    """
     bandwidths = [link.bandwidth for link in path]
     if not bandwidths or nbytes <= 0:
         return 0.0

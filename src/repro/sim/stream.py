@@ -5,12 +5,18 @@ p2p-in, p2p-out) and CUDA events for cross-stream dependencies; this module
 provides exactly that abstraction.  Submitting work returns a
 :class:`~repro.sim.engine.SimEvent` that fires on completion, which doubles
 as the ``cudaEvent`` recorded after the operation.
+
+An operation that raises (a fault it did not recover from) *poisons* its
+completion event -- the event fails with the exception, so dependents
+observe a typed error instead of waiting forever -- and the stream keeps
+draining subsequent operations, mirroring how a CUDA stream keeps
+executing after an async error is surfaced on its event.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from repro.sim.engine import SimEvent, Simulator
 
@@ -30,14 +36,19 @@ class Stream:
         self._running = False
         self.busy_time = 0.0
         self._ops_done = 0
+        self._ops_failed = 0
 
     @property
     def ops_completed(self) -> int:
         return self._ops_done
 
+    @property
+    def ops_failed(self) -> int:
+        return self._ops_failed
+
     def submit(self, op: Generator, label: str = "") -> SimEvent:
         """Enqueue ``op`` (a generator body) and return its completion event."""
-        done = SimEvent(self.sim)
+        done = SimEvent(self.sim, name=f"{self.name}:{label}" if label else "")
         self._queue.append((op, done))
         if not self._running:
             self._running = True
@@ -79,7 +90,14 @@ class Stream:
     def _drain(self) -> Generator:
         while self._queue:
             op, done = self._queue.popleft()
-            result = yield self.sim.process(op, name=f"{self.name}:op")
+            try:
+                result = yield self.sim.process(op, name=f"{self.name}:op")
+            except Exception as exc:
+                # The op failed; fail its completion event so dependents
+                # observe the typed error, and keep serving the queue.
+                self._ops_failed += 1
+                done.fail(exc)
+                continue
             self._ops_done += 1
             done.succeed(result)
         self._running = False

@@ -1,0 +1,103 @@
+"""Chaos property suite: zoo models x execution modes x fault seeds.
+
+The property: under a seeded chaos fault plan, every run either
+*completes* with its byte-accounting invariants intact, or fails with a
+typed fault error naming the affected schedule entity.  It never hangs
+(the simulator watchdog converts a stall into a typed error, which this
+suite treats as a failure -- zero watchdog trips tolerated) and never
+silently mis-accounts traffic (the runner audits the byte equations on
+every completed iteration).
+"""
+
+import re
+
+import pytest
+
+from repro.common.errors import FaultError, SimulationError
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+from repro.faults import FaultPlan, FaultSpec, check_byte_invariants
+
+# Representative zoo slice: the two toy models plus the two real paper
+# models that plan in well under a second.  (minibatch, gpus) are sized so
+# every configuration fits its server; the larger zoo entries exercise the
+# same code paths at 10-100x the wall time, so they stay out of tier 1.
+MATRIX = [
+    ("toy-transformer", 8, 2),
+    ("tiny-cnn", 8, 2),
+    ("bert-large", 16, 4),
+    ("gpt2", 16, 4),
+]
+MODES = ("dp", "pp")
+SEEDS = range(10)
+
+_ENTITY = re.compile(r"(t\d+|gpu\d+)")
+
+_plans: dict = {}
+
+
+def _harmony(model: str, minibatch: int, gpus: int, mode: str) -> Harmony:
+    key = (model, minibatch, gpus, mode)
+    if key not in _plans:
+        harmony = Harmony(
+            model, server_for(gpus), minibatch,
+            options=HarmonyOptions(mode=mode),
+        )
+        harmony.plan()
+        _plans[key] = harmony
+    return _plans[key]
+
+
+@pytest.mark.parametrize("model,minibatch,gpus",
+                         MATRIX, ids=[m for m, _, _ in MATRIX])
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_completes_or_fails_typed(model, minibatch, gpus, mode,
+                                            seed):
+    harmony = _harmony(model, minibatch, gpus, mode)
+    fault_plan = FaultPlan(FaultSpec.chaos(), seed=seed)
+    try:
+        report = harmony.run(fault_plan=fault_plan)
+    except FaultError as exc:
+        # Acceptable outcome: recovery was exhausted, and the typed error
+        # names the faulted schedule entity (t<tid> / gpu<d>.<stream>).
+        assert _ENTITY.search(exc.entity or str(exc)), (
+            f"typed fault without an entity: {exc}"
+        )
+    except SimulationError as exc:  # pragma: no cover - property violation
+        pytest.fail(
+            f"hard failure (watchdog trip or broken accounting) for "
+            f"{model}/{mode}/seed {seed}: {exc}"
+        )
+    else:
+        metrics = report.metrics
+        graph = harmony.plan().graph
+        assert metrics.iteration_time > 0
+        # Byte invariants hold whatever was injected and recovered.
+        check_byte_invariants(graph, metrics)
+        # Injection accounting is consistent with the recovery report.
+        assert metrics.recovery.faults_injected >= (
+            metrics.recovery.transfer_retries
+            + metrics.recovery.compute_retries
+            + metrics.recovery.p2p_fallbacks
+        )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_disabled_spec_matches_plain_run_across_modes(mode):
+    harmony = _harmony("toy-transformer", 8, 2, mode)
+    plain = harmony.run()
+    gated = harmony.run(fault_plan=FaultPlan(FaultSpec.none(), seed=99))
+    assert plain.metrics.describe() == gated.metrics.describe()
+
+
+def test_high_intensity_still_terminates():
+    """Even absurd fault rates terminate -- with success or a typed error,
+    courtesy of bounded retries and the watchdog."""
+    harmony = _harmony("toy-transformer", 8, 2, "pp")
+    for seed in range(3):
+        plan = FaultPlan(FaultSpec.chaos(intensity=20.0), seed=seed)
+        try:
+            harmony.run(fault_plan=plan)
+        except FaultError:
+            pass
