@@ -14,7 +14,9 @@ Four subcommands:
   under a seeded chaos fault plan for a range of seeds, reporting per-seed
   outcomes (completed + recovery counters, or the typed error) and a
   summary; exits nonzero if any seed hangs the watchdog or breaks byte
-  accounting.
+  accounting.  ``--devices-lost`` scripts permanent GPU losses on top of
+  the chaos mix to exercise elastic re-planning; ``--json`` writes the
+  sweep as a machine-readable report.
 
 Examples::
 
@@ -24,6 +26,8 @@ Examples::
     python -m repro.cli check gpt2 --minibatch 64 --inject cycle
     python -m repro.cli experiment fig09 --fast
     python -m repro.cli chaos gpt2 --minibatch 32 --seeds 10 --intensity 1.5
+    python -m repro.cli chaos gpt2 --minibatch 16 --gpus 4 --seeds 5 \\
+        --devices-lost 1 --iterations 3 --json chaos-elastic.json
 """
 
 from __future__ import annotations
@@ -108,6 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the transfer fault rate")
     chaos.add_argument("--crash-rate", type=float, default=None,
                        help="override the task crash rate")
+    chaos.add_argument("--devices-lost", type=int, default=0,
+                       help="permanently kill this many in-use GPUs per "
+                            "seed (victims rotate with the seed; always "
+                            "leaves at least one survivor) -- exercises "
+                            "elastic re-planning + state migration")
+    chaos.add_argument("--lose-at", type=int, default=1,
+                       help="iteration at which the losses strike "
+                            "(default 1; needs --iterations > this)")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="also write per-seed outcomes, recovery "
+                            "counters and elastic re-plan counts as JSON")
     return parser
 
 
@@ -164,6 +179,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _loss_victims(graph, n: int, seed: int) -> list[int]:
+    """Pick ``n`` distinct loss victims for one chaos seed.
+
+    Victims come from the devices that *own state* (UPD task placement)
+    so the elastic migration phase has bytes to move; the pick rotates
+    with the seed so a sweep kills different devices.  Always leaves at
+    least one in-use device alive -- a chaos sweep probes recovery, not
+    the trivially unrecoverable zero-survivor case.
+    """
+    from repro.core.types import TaskKind
+
+    used = sorted({t.device for t in graph.tasks})
+    owners = sorted({
+        t.device for t in graph.tasks if t.kind is TaskKind.UPD
+    }) or used
+    k = max(0, min(n, len(used) - 1, len(owners)))
+    if k == 0:
+        return []
+    start = seed % len(owners)
+    rotated = owners[start:] + owners[:start]
+    return sorted(rotated[:k])
+
+
 def _chaos(args: argparse.Namespace) -> int:
     """Seed-sweep fault injection over one planned schedule.
 
@@ -172,11 +210,17 @@ def _chaos(args: argparse.Namespace) -> int:
     recovery policy; an acceptable chaos outcome, reported with the fault's
     entity), and *hard failure* (watchdog trip or broken byte accounting
     -- a runtime bug).  Only hard failures make the exit code nonzero.
+
+    ``--devices-lost`` additionally scripts permanent GPU losses on top of
+    the seeded chaos mix, driving the elastic escalation ladder (re-bind
+    -> re-plan -> state migration); ``--json`` writes the sweep's per-seed
+    outcomes and counters for machines (CI artifacts, dashboards).
     """
-    from dataclasses import replace
+    import json as json_module
+    from dataclasses import asdict, replace
 
     from repro.common.errors import FaultError, SimulationError
-    from repro.faults import FaultPlan, FaultSpec
+    from repro.faults import FaultPlan, FaultSpec, ScriptedFaultPlan
 
     spec = FaultSpec.chaos(args.intensity)
     if args.transfer_rate is not None:
@@ -187,10 +231,21 @@ def _chaos(args: argparse.Namespace) -> int:
     plan = harmony.plan()
     print(plan.describe())
     print(f"chaos sweep: {args.seeds} seed(s) from {args.seed_base}, "
-          f"{spec.describe()}")
+          f"{spec.describe()}"
+          + (f", {args.devices_lost} device(s) lost at iteration "
+             f"{args.lose_at}" if args.devices_lost else ""))
     completed = failed = hard = 0
+    records = []
     for seed in range(args.seed_base, args.seed_base + args.seeds):
-        fault_plan = FaultPlan(spec, seed=seed)
+        if args.devices_lost:
+            victims = _loss_victims(plan.graph, args.devices_lost, seed)
+            fault_plan: FaultPlan = ScriptedFaultPlan(
+                losses={d: args.lose_at for d in victims},
+                spec=spec, seed=seed,
+            )
+        else:
+            fault_plan = FaultPlan(spec, seed=seed)
+        record: dict = {"seed": seed}
         try:
             report = harmony.run(plan=plan, iterations=args.iterations,
                                  fault_plan=fault_plan)
@@ -198,18 +253,59 @@ def _chaos(args: argparse.Namespace) -> int:
             failed += 1
             entity = f" [{exc.entity}]" if exc.entity else ""
             print(f"  seed {seed}: FAILED {type(exc).__name__}{entity}: {exc}")
+            record.update(outcome="failed", error_type=type(exc).__name__,
+                          entity=exc.entity, message=str(exc))
         except SimulationError as exc:
             hard += 1
             print(f"  seed {seed}: HARD FAILURE {type(exc).__name__}: {exc}")
+            record.update(outcome="hard_failure",
+                          error_type=type(exc).__name__, message=str(exc))
         else:
             completed += 1
             metrics = report.metrics
-            print(f"  seed {seed}: completed, iteration "
-                  f"{metrics.iteration_time:.4f}s, "
-                  f"{metrics.recovery.describe()}")
+            line = (f"  seed {seed}: completed, iteration "
+                    f"{metrics.iteration_time:.4f}s, "
+                    f"{metrics.recovery.describe()}")
+            if metrics.elastic.any:
+                line += f"; {metrics.elastic.describe()}"
+            print(line)
+            record.update(
+                outcome="completed",
+                iteration_time=metrics.iteration_time,
+                throughput=metrics.throughput,
+                recovery=asdict(metrics.recovery),
+                elastic=asdict(metrics.elastic),
+            )
+        records.append(record)
     print(f"chaos summary: {completed} completed, {failed} failed with a "
           f"typed fault, {hard} hard failure(s) "
           f"({'runtime bug' if hard else 'byte accounting intact, no hangs'})")
+    if args.json:
+        payload = {
+            "model": args.model,
+            "mode": args.mode,
+            "gpus": args.gpus,
+            "minibatch": args.minibatch,
+            "iterations": args.iterations,
+            "intensity": args.intensity,
+            "devices_lost": args.devices_lost,
+            "seed_base": args.seed_base,
+            "seeds": args.seeds,
+            "spec": spec.describe(),
+            "results": records,
+            "summary": {
+                "completed": completed,
+                "failed": failed,
+                "hard_failures": hard,
+                "replans": sum(
+                    r.get("elastic", {}).get("replans", 0) for r in records
+                ),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
     return 1 if hard else 0
 
 

@@ -83,6 +83,15 @@ class GpuDegradedError(FaultError):
     tolerance; its tasks should be re-bound to a healthy device."""
 
 
+class GpuLostError(FaultError):
+    """A GPU permanently died (hardware loss, not a slowdown).
+
+    Never retryable within an iteration attempt: the device is gone for
+    the rest of the run, so recovery means re-binding its tasks to a
+    spare or, when no spare exists, re-planning the whole schedule on
+    the surviving device subset (:mod:`repro.elastic`)."""
+
+
 class UnrecoveredFaultError(FaultError):
     """An injected fault exhausted every recovery policy (retries,
     fallback, restarts) and the run cannot make progress."""

@@ -157,6 +157,18 @@ class Harmony:
         self.minibatch = minibatch
         self.options = options
         self._plan: Optional[HarmonyPlan] = None
+        # Elastic re-plans memoized by (surviving GPU count, mode): the
+        # logical plan depends only on how many devices survive, never on
+        # *which* -- relabeling onto physical ids is the runtime's job.
+        self._subset_plans: dict[tuple[int, str], HarmonyPlan] = {}
+
+    @property
+    def host_state_bytes(self) -> int:
+        """Host-resident state the runtime pins: model state + input batch."""
+        return (
+            self.model.model_state_bytes
+            + self.minibatch * self.model.sample_bytes
+        )
 
     # -- scheduling -------------------------------------------------------------
 
@@ -203,6 +215,84 @@ class Harmony:
             self._plan = plan
         return plan
 
+    # -- elastic re-planning ------------------------------------------------------
+
+    def reduced_server(self, n_gpus: int) -> ServerSpec:
+        """The same machine with only ``n_gpus`` GPUs left.
+
+        Per-GPU and host specs are unchanged; the PCIe tree keeps its
+        shape (switch fan-out, link bandwidths) with fewer leaves -- the
+        surviving devices still sit behind the same class of switches.
+        """
+        if not 1 <= n_gpus <= self.server.n_gpus:
+            raise ValueError(
+                f"reduced server needs 1..{self.server.n_gpus} GPUs, "
+                f"got {n_gpus}"
+            )
+        topology = self.server.topology
+        return ServerSpec(
+            n_gpus=n_gpus,
+            gpu=self.server.gpu,
+            host=self.server.host,
+            topology=replace(topology, n_gpus=n_gpus),
+        )
+
+    def plan_for_server(self, n_gpus: int,
+                        mode: Optional[str] = None) -> HarmonyPlan:
+        """Re-run the Scheduler for a reduced GPU count; memoized.
+
+        This is the online re-planning entry point the elastic runtime
+        calls under fire (:class:`repro.elastic.ElasticReplanner`): the
+        model's decomposition and profiles are reused from the memoized
+        full plan (the model did not change -- the machine shrank), only
+        the configuration search and packing run again, against
+        :meth:`reduced_server`.  A DP plan whose minibatch cannot divide
+        the survivor count falls back to PP on the same survivors.
+        """
+        from repro.common.errors import InfeasibleConfigError, SchedulingError
+
+        mode = mode if mode is not None else self.options.mode
+        key = (n_gpus, mode)
+        if key in self._subset_plans:
+            return self._subset_plans[key]
+        if n_gpus == self.server.n_gpus and mode == self.options.mode:
+            plan = self.plan()
+            self._subset_plans[key] = plan
+            return plan
+        base = self.plan()
+        server = self.reduced_server(n_gpus)
+        options = replace(self.options, mode=mode)
+        schedule_options = options.schedule_options()
+        try:
+            search = ConfigurationSearch(
+                base.profiles, server, self.minibatch, schedule_options,
+                options.search_settings(),
+            ).search()
+            builder = HarmonyGraphBuilder(
+                base.profiles, n_gpus, self.minibatch, schedule_options
+            )
+            graph = builder.build(search.best)
+        except (InfeasibleConfigError, SchedulingError):
+            if mode != "dp":
+                raise
+            # DP cannot split this minibatch across the survivors; the
+            # wrap-around pipeline works for any device count >= 1.
+            plan = self.plan_for_server(n_gpus, mode="pp")
+            self._subset_plans[key] = plan
+            return plan
+        plan = HarmonyPlan(
+            model=self.model,
+            server=server,
+            minibatch=self.minibatch,
+            options=options,
+            decomposed=base.decomposed,
+            profiles=base.profiles,
+            search=search,
+            graph=graph,
+        )
+        self._subset_plans[key] = plan
+        return plan
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, plan: Optional[HarmonyPlan] = None,
@@ -231,17 +321,16 @@ class Harmony:
             plan.decomposed, self.server.gpu, self.server.host,
             n_gpus=self.server.n_gpus,
         )
-        host_state = (
-            self.model.model_state_bytes
-            + self.minibatch * self.model.sample_bytes
-        )
+        host_state = self.host_state_bytes
         if self.options.analyze != "off":
             self._analyze(plan, host_state)
         if fault_plan is not None and getattr(fault_plan, "enabled", False):
             # Imported lazily: repro.faults pulls in the runner (and thus
             # this module's dependencies) at package scope.
+            from repro.elastic import ElasticReplanner
             from repro.faults.runner import FaultTolerantRunner
 
+            elastic_on = recovery is None or getattr(recovery, "elastic", True)
             runner = FaultTolerantRunner(
                 self.server, time_model, fault_plan,  # type: ignore[arg-type]
                 policy=recovery,  # type: ignore[arg-type]
@@ -249,6 +338,7 @@ class Harmony:
                 host_state_bytes=host_state,
                 max_steps=max_steps,
                 horizon=horizon,
+                replanner=ElasticReplanner(self) if elastic_on else None,
             )
             metrics = runner.run(plan.graph, iterations=iterations)
             return HarmonyReport(plan=plan, metrics=metrics)

@@ -1,0 +1,137 @@
+"""Device re-binding primitives (late binding, Section 4.3.2).
+
+A Harmony task graph is valid under *any* device assignment: tasks carry a
+device *binding*, not an identity, so changing bindings never touches the
+schedule's structure (task order, dependencies, move lists).  Two
+transformations live here:
+
+- :func:`rebind_graph` -- the recovery rebind: map each degraded source
+  device onto a healthy target, leaving every other binding alone.  P2P
+  moves whose endpoints collapse onto one device become LOCAL (the
+  transfer disappears).  Targets are validated: re-binding onto another
+  degraded device is refused.
+- :func:`relabel_graph` -- the elastic relabel: apply an *injective*
+  logical->physical device mapping simultaneously to every binding.  Used
+  after an elastic re-plan, where the scheduler plans on logical devices
+  ``0..k-1`` and the runtime maps them onto the ``k`` surviving physical
+  GPUs (which need not be contiguous).  Unlike the recovery rebind, a
+  mapping target may equal another mapping source -- ``{1: 2, 2: 3}`` is
+  a legal relabel but an illegal rebind.
+
+Kept free of runtime/scheduler imports so both :mod:`repro.faults` and
+:mod:`repro.elastic.replanner` can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import GpuDegradedError
+from repro.core.types import Channel, Move, Task, TaskGraph
+
+
+def _remap_move(move: Move, task_device: dict[int, int],
+                device_map: dict[int, int], new_device: int) -> Move:
+    """Re-target one move after its task moved to ``new_device``."""
+    peer = move.peer
+    if peer is not None:
+        peer = device_map.get(peer, peer)
+    if move.channel is Channel.P2P:
+        src = (
+            task_device[move.src_task]
+            if move.src_task is not None else peer
+        )
+        if src == new_device:
+            # Producer and consumer collapsed onto one device: the
+            # transfer disappears (the analyzer rejects same-device P2P).
+            return Move(
+                tensor=move.tensor, nbytes=move.nbytes,
+                channel=Channel.LOCAL, peer=None,
+                src_task=move.src_task, label=move.label,
+            )
+    if peer is not move.peer:
+        return Move(
+            tensor=move.tensor, nbytes=move.nbytes, channel=move.channel,
+            peer=peer, src_task=move.src_task, label=move.label,
+        )
+    return move
+
+
+def _apply_mapping(graph: TaskGraph, mapping: dict[int, int],
+                   n_devices: int) -> TaskGraph:
+    """Rebuild ``graph`` with every binding pushed through ``mapping``."""
+    task_device = {
+        t.tid: mapping.get(t.device, t.device) for t in graph.tasks
+    }
+    rebound = TaskGraph(
+        mode=graph.mode,
+        n_devices=n_devices,
+        pageable_swaps=graph.pageable_swaps,
+    )
+    for task in graph.tasks:
+        new_device = task_device[task.tid]
+        moved: Task = task.with_device(new_device)
+        moved.ins = [
+            _remap_move(m, task_device, mapping, new_device)
+            for m in task.ins
+        ]
+        moved.outs = [
+            _remap_move(m, task_device, mapping, new_device)
+            for m in task.outs
+        ]
+        rebound.add(moved)
+    return rebound
+
+
+def rebind_graph(graph: TaskGraph, mapping: dict[int, int],
+                 n_devices: Optional[int] = None) -> TaskGraph:
+    """Re-bind every task on ``mapping``'s source devices to its target.
+
+    Late binding makes this legal: the schedule's structure (task order,
+    dependencies, move lists) is untouched; only device bindings change.
+    P2P moves whose endpoints land on the same device are converted to
+    LOCAL.  Raises :class:`GpuDegradedError` if a target device is itself
+    a mapping source (i.e. still degraded) and ``ValueError`` on an
+    out-of-range target.
+    """
+    bound = n_devices if n_devices is not None else graph.n_devices
+    for src, dst in mapping.items():
+        if not 0 <= dst < bound:
+            raise ValueError(
+                f"rebind target gpu{dst} outside device range [0, {bound})"
+            )
+        if dst in mapping:
+            raise GpuDegradedError(
+                f"cannot re-bind gpu{src} onto gpu{dst}: the target is "
+                f"itself degraded", entity=f"gpu{dst}",
+            )
+    return _apply_mapping(graph, mapping, bound)
+
+
+def relabel_graph(graph: TaskGraph, mapping: dict[int, int],
+                  n_devices: Optional[int] = None) -> TaskGraph:
+    """Relabel logical device bindings onto physical devices.
+
+    ``mapping`` is applied *simultaneously* (a permutation-style relabel):
+    every source is rewritten to its target in one step, so a target that
+    is also a source -- ``{0: 2, 2: 3}`` -- is legal, unlike in
+    :func:`rebind_graph`.  The mapping must be injective: two logical
+    devices collapsing onto one physical GPU would double its memory
+    load, which the plan's capacity fit never allowed for.
+
+    ``n_devices`` sets the relabeled graph's device range (defaults to
+    the input graph's); pass the physical server's GPU count so the
+    relabeled graph slots into per-device metric arrays unchanged.
+    """
+    bound = n_devices if n_devices is not None else graph.n_devices
+    targets = list(mapping.values())
+    if len(set(targets)) != len(targets):
+        raise ValueError(
+            f"relabel mapping is not injective: {mapping}"
+        )
+    for src, dst in mapping.items():
+        if not 0 <= dst < bound:
+            raise ValueError(
+                f"relabel target gpu{dst} outside device range [0, {bound})"
+            )
+    return _apply_mapping(graph, mapping, bound)

@@ -18,6 +18,7 @@ or from the command line: ``python -m repro.cli chaos gpt2 --seeds 10``.
 """
 
 from repro.faults.injector import CrashFault, FaultInjector
+from repro.faults.monitor import DeviceHealthMonitor
 from repro.faults.plan import (
     Crash,
     FaultKind,
@@ -35,6 +36,7 @@ from repro.faults.runner import (
 __all__ = [
     "Crash",
     "CrashFault",
+    "DeviceHealthMonitor",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.diagnostics import stream_ref, task_ref
-from repro.common.errors import TaskCrashError, TransferFaultError
+from repro.common.errors import GpuLostError, TaskCrashError, TransferFaultError
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.hardware.server import SimulatedServer
 from repro.sim.links import Link, TransferFault
@@ -48,6 +48,12 @@ class FaultInjector:
         self.context = tuple(context)
         self.injected: dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
         self._counted_slow: set[int] = set()
+        self._counted_lost: set[int] = set()
+
+    @property
+    def iteration(self) -> int:
+        """Iteration this injector serves (from the restart context salt)."""
+        return int(self.context[0]) if self.context else 0
 
     @property
     def enabled(self) -> bool:
@@ -137,7 +143,7 @@ class FaultInjector:
 
     def compute_multiplier(self, device: int) -> float:
         """Straggler kernel-time multiplier for ``device`` (1.0 = healthy)."""
-        multiplier, _persistent = self.plan.gpu_slowdown(device)
+        multiplier, _persistent = self.plan.gpu_slowdown_at(device, self.iteration)
         if multiplier > 1.0 and device not in self._counted_slow:
             self._counted_slow.add(device)
             self.injected[FaultKind.GPU_SLOWDOWN] += 1
@@ -147,7 +153,41 @@ class FaultInjector:
         """(device, multiplier, persistent) for every straggler GPU."""
         out = []
         for device in range(n_devices):
-            multiplier, persistent = self.plan.gpu_slowdown(device)
+            multiplier, persistent = self.plan.gpu_slowdown_at(
+                device, self.iteration)
             if multiplier > 1.0:
                 out.append((device, multiplier, persistent))
+        return out
+
+    def gpu_lost(self, device: int) -> bool:
+        """Is ``device`` dead as of this injector's iteration?"""
+        death = self.plan.gpu_loss(device)
+        return death is not None and death <= self.iteration
+
+    def lost_fault(self, device: int) -> Optional[GpuLostError]:
+        """Loss fault for a compute attempt on ``device``, or None.
+
+        Counted once per device per injector: the first kernel scheduled
+        on dead hardware surfaces the loss; subsequent queries on the
+        same corpse return the error without inflating the tally.
+        """
+        if not self.gpu_lost(device):
+            return None
+        if device not in self._counted_lost:
+            self._counted_lost.add(device)
+            self.injected[FaultKind.GPU_LOSS] += 1
+        entity = f"gpu{device}"
+        return GpuLostError(
+            f"injected permanent loss of {entity} "
+            f"(died at iteration {self.plan.gpu_loss(device)})",
+            entity=entity,
+        )
+
+    def lost_gpus(self, n_devices: int) -> list[tuple[int, int]]:
+        """(device, death iteration) for every planned permanent loss."""
+        out = []
+        for device in range(n_devices):
+            death = self.plan.gpu_loss(device)
+            if death is not None:
+                out.append((device, death))
         return out

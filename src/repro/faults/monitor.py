@@ -1,0 +1,55 @@
+"""Device health monitor: hysteresis between "degraded" and "re-plan".
+
+A single straggling iteration must never trigger an elastic re-plan --
+migration moves real bytes over real links, so the escalation from
+"tolerate" to "re-schedule the job" has to be earned.  The monitor keeps
+a per-device strike counter: each iteration boundary at which a device
+is observed degraded beyond the policy's ``rebind_threshold`` (and could
+not be rescued by a cheap 1:1 rebind) adds a strike; a healthy
+observation clears the counter.  Only after ``replan_patience``
+*consecutive* strikes does the monitor condemn the device.
+
+Permanent GPU *loss* bypasses the monitor entirely: dead hardware has no
+prospect of recovery, so the runner escalates immediately.
+"""
+
+from __future__ import annotations
+
+
+class DeviceHealthMonitor:
+    """Strike-counting hysteresis for degraded (but alive) devices."""
+
+    def __init__(self, patience: int):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self._strikes: dict[int, int] = {}
+        #: devices already condemned (strike count reached patience);
+        #: they stay condemned until :meth:`forget` -- a device does not
+        #: redeem itself by looking healthy after we decided to drop it.
+        self._condemned: set[int] = set()
+
+    def observe(self, device: int, degraded: bool) -> bool:
+        """Record one iteration-boundary observation; True if condemned."""
+        if device in self._condemned:
+            return True
+        if not degraded:
+            self._strikes.pop(device, None)
+            return False
+        strikes = self._strikes.get(device, 0) + 1
+        self._strikes[device] = strikes
+        if strikes >= self.patience:
+            self._condemned.add(device)
+            return True
+        return False
+
+    def strikes(self, device: int) -> int:
+        return self._strikes.get(device, 0)
+
+    def condemned(self, device: int) -> bool:
+        return device in self._condemned
+
+    def forget(self, device: int) -> None:
+        """Drop all state for ``device`` (it left the active set)."""
+        self._strikes.pop(device, None)
+        self._condemned.discard(device)

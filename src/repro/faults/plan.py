@@ -20,7 +20,11 @@ The fault taxonomy (DESIGN.md section 8):
 - **task crashes** -- a compute attempt dies partway (spurious kernel
   fault); retryable from the task's inputs, which are still resident;
 - **host memory pressure** -- epochs in which host-side copy engines and
-  the oversubscribed uplinks slow down (page-cache churn, NUMA pressure).
+  the oversubscribed uplinks slow down (page-cache churn, NUMA pressure);
+- **GPU loss** -- a device permanently dies partway through the run
+  (XID error, falls off the bus); never recovers, so the runtime must
+  re-bind to a spare or elastically re-plan on the survivors
+  (:mod:`repro.elastic`).
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ class FaultKind(enum.Enum):
     GPU_SLOWDOWN = "gpu_slowdown"
     TASK_CRASH = "task_crash"
     HOST_PRESSURE = "host_pressure"
+    GPU_LOSS = "gpu_loss"
 
 
 _RATES = (
@@ -48,6 +53,7 @@ _RATES = (
     "gpu_slowdown_rate",
     "task_crash_rate",
     "host_pressure_rate",
+    "gpu_loss_rate",
 )
 
 
@@ -77,6 +83,8 @@ class FaultSpec:
     host_pressure_factor: float = 0.5
     #: virtual seconds per host pressure epoch
     host_pressure_interval: float = 0.1
+    #: probability a GPU permanently dies during the run (hardware loss)
+    gpu_loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in _RATES:
@@ -213,6 +221,31 @@ class FaultPlan:
         )
         return self.spec.gpu_slowdown_factor, persistent
 
+    def gpu_slowdown_at(self, device: int, iteration: int) -> tuple[float, bool]:
+        """(multiplier, persistent?) for ``device`` as of ``iteration``.
+
+        The base plan's stragglers are run-scoped, so this simply
+        delegates to :meth:`gpu_slowdown`; subclasses may override it to
+        script degradations that begin partway through a run (a device
+        that starts healthy and sickens later).  Overriding only
+        :meth:`gpu_slowdown` keeps working: the runtime always queries
+        through this hook.
+        """
+        return self.gpu_slowdown(device)
+
+    def gpu_loss(self, device: int) -> Optional[int]:
+        """Iteration at which ``device`` permanently dies, or None.
+
+        Run-scoped like :meth:`gpu_slowdown`: a loss is a property of the
+        run, not of a restart attempt -- restarting an iteration does not
+        resurrect dead hardware.  The death iteration is drawn from
+        ``[1, 4]`` so a loss always strikes after at least one healthy
+        iteration (iteration 0 establishes the checkpoint baseline).
+        """
+        if unit(self.seed, "loss", device) >= self.spec.gpu_loss_rate:
+            return None
+        return 1 + int(unit(self.seed, "loss-iter", device) * 4.0)
+
     def link_degradation(
         self, link_name: str, epoch: int, context: tuple = ()
     ) -> float:
@@ -239,9 +272,12 @@ class ScriptedFaultPlan(FaultPlan):
     ``transfer_faults`` maps ``(label, attempt) -> abort fraction`` (the
     entity is ignored so a script does not need to know device/stream
     placement); ``crashes`` maps ``(tid, mb_index, attempt) -> fraction``;
-    ``slowdowns`` maps ``device -> (multiplier, persistent)``.  Context is
-    ignored: scripted faults fire on every restart attempt unless the
-    script keys on ``attempt``.
+    ``slowdowns`` maps ``device -> (multiplier, persistent)``;
+    ``slowdowns_at`` maps ``device -> (onset iteration, multiplier,
+    persistent)`` for degradations that begin partway through a run;
+    ``losses`` maps ``device -> death iteration`` for permanent GPU loss.
+    Context is ignored: scripted faults fire on every restart attempt
+    unless the script keys on ``attempt``.
     """
 
     def __init__(
@@ -249,18 +285,23 @@ class ScriptedFaultPlan(FaultPlan):
         transfer_faults: Optional[dict[tuple[str, int], float]] = None,
         crashes: Optional[dict[tuple[int, int, int], float]] = None,
         slowdowns: Optional[dict[int, tuple[float, bool]]] = None,
+        slowdowns_at: Optional[dict[int, tuple[int, float, bool]]] = None,
+        losses: Optional[dict[int, int]] = None,
         spec: Optional[FaultSpec] = None,
+        seed: int = 0,
     ):
-        super().__init__(spec if spec is not None else FaultSpec(), seed=0)
+        super().__init__(spec if spec is not None else FaultSpec(), seed=seed)
         self.transfer_faults = dict(transfer_faults or {})
         self.crashes = dict(crashes or {})
         self.slowdowns = dict(slowdowns or {})
+        self.slowdowns_at = dict(slowdowns_at or {})
+        self.losses = dict(losses or {})
 
     @property
     def enabled(self) -> bool:
         return bool(
             self.transfer_faults or self.crashes or self.slowdowns
-            or self.spec.any_enabled
+            or self.slowdowns_at or self.losses or self.spec.any_enabled
         )
 
     def transfer_fault(
@@ -281,3 +322,16 @@ class ScriptedFaultPlan(FaultPlan):
         if device in self.slowdowns:
             return self.slowdowns[device]
         return super().gpu_slowdown(device)
+
+    def gpu_slowdown_at(self, device: int, iteration: int) -> tuple[float, bool]:
+        if device in self.slowdowns_at:
+            onset, factor, persistent = self.slowdowns_at[device]
+            if iteration >= onset:
+                return factor, persistent
+            return 1.0, False
+        return super().gpu_slowdown_at(device, iteration)
+
+    def gpu_loss(self, device: int) -> Optional[int]:
+        if device in self.losses:
+            return self.losses[device]
+        return super().gpu_loss(device)

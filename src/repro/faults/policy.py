@@ -38,6 +38,16 @@ class RecoveryPolicy:
     rebind: bool = True
     #: persistent slow-down multiplier at or above which re-bind triggers
     rebind_threshold: float = 1.5
+    #: when re-bind finds no spare, escalate to a full elastic re-plan on
+    #: the surviving device subset (requires a replanner on the runner)
+    elastic: bool = True
+    #: consecutive degraded iteration boundaries before a *degraded*
+    #: (still alive) device triggers a re-plan -- hysteresis so one
+    #: straggle never pays a migration; a *lost* device re-plans at once
+    replan_patience: int = 2
+    #: elastic re-plans allowed per run (each loses a device, so this is
+    #: naturally bounded by the GPU count as well)
+    max_replans: int = 4
 
     def __post_init__(self) -> None:
         if self.max_transfer_retries < 0:
@@ -52,6 +62,10 @@ class RecoveryPolicy:
             raise ValueError("backoff_factor must be >= 1")
         if self.rebind_threshold < 1.0:
             raise ValueError("rebind_threshold must be >= 1")
+        if self.replan_patience < 1:
+            raise ValueError("replan_patience must be >= 1")
+        if self.max_replans < 0:
+            raise ValueError("max_replans must be >= 0")
 
     def backoff(self, attempt: int) -> float:
         """Backoff before retry number ``attempt + 1`` (0-indexed)."""

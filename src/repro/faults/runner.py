@@ -12,9 +12,25 @@ recovery mechanisms that live *above* a single iteration:
   identical fault would deterministically recur forever;
 - **late-binding re-bind** -- tasks carry a device *binding*, not an
   identity (Section 4.3.2's late binding), so at an iteration boundary the
-  tasks of a persistently degraded GPU can be re-bound to a healthy spare
-  device.  P2P moves whose endpoints collapse onto one device become LOCAL
-  (no traffic), exactly the transformation :func:`rebind_graph` performs.
+  tasks of a persistently degraded or dead GPU can be re-bound to a
+  healthy spare device.  P2P moves whose endpoints collapse onto one
+  device become LOCAL (no traffic), exactly the transformation
+  :func:`repro.elastic.rebind.rebind_graph` performs.  Re-binding repeats
+  as often as trouble appears: a second device degrading later in the run
+  is rescued exactly like the first, as long as spares remain;
+- **elastic re-plan** -- when a device is permanently *lost* (or a
+  degraded device has struck out past the health monitor's patience) and
+  no spare exists, the runner escalates past binding patches entirely:
+  the Harmony scheduler re-plans on the surviving device subset
+  (:class:`repro.elastic.ElasticReplanner`), the re-planned graph is
+  verified strictly against the reduced spec, and the checkpointed
+  model/optimizer state migrates from the old packing to the new one
+  over the real simulated links
+  (:class:`repro.runtime.migration.MigrationExecutor`) -- the migration's
+  time and bytes land in :class:`~repro.runtime.metrics.ElasticMetrics`.
+
+The escalation ladder, cheapest rung first: transfer retry -> p2p->swap
+fallback -> compute retry -> iteration restart -> re-bind -> re-plan.
 
 The runner also audits every completed iteration with
 :func:`check_byte_invariants`: whatever faults were injected and recovered,
@@ -25,95 +41,41 @@ double-counted).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import (
     FaultError,
-    GpuDegradedError,
+    ReproError,
     SimulationError,
     UnrecoveredFaultError,
 )
-from repro.core.types import Channel, Move, Task, TaskGraph
+from repro.core.types import Channel, TaskGraph
+from repro.elastic.migration import plan_migration
+from repro.elastic.rebind import rebind_graph
 from repro.faults.injector import FaultInjector
+from repro.faults.monitor import DeviceHealthMonitor
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RecoveryPolicy
 from repro.hardware.server import ServerSpec, SimulatedServer
 from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
-from repro.runtime.metrics import GpuMetrics, RecoveryMetrics, RunMetrics
+from repro.runtime.metrics import (
+    ElasticMetrics,
+    GpuMetrics,
+    RecoveryMetrics,
+    RunMetrics,
+)
+from repro.runtime.migration import MigrationExecutor
 from repro.runtime.timemodel import TrueTimeModel
 from repro.sim.engine import Simulator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.elastic.replanner import ElasticReplanner
 
-def _remap_move(move: Move, task_device: dict[int, int],
-                device_map: dict[int, int], new_device: int) -> Move:
-    """Re-target one move after its task moved to ``new_device``."""
-    peer = move.peer
-    if peer is not None:
-        peer = device_map.get(peer, peer)
-    if move.channel is Channel.P2P:
-        src = (
-            task_device[move.src_task]
-            if move.src_task is not None else peer
-        )
-        if src == new_device:
-            # Producer and consumer collapsed onto one device: the
-            # transfer disappears (the analyzer rejects same-device P2P).
-            return Move(
-                tensor=move.tensor, nbytes=move.nbytes,
-                channel=Channel.LOCAL, peer=None,
-                src_task=move.src_task, label=move.label,
-            )
-    if peer is not move.peer:
-        return Move(
-            tensor=move.tensor, nbytes=move.nbytes, channel=move.channel,
-            peer=peer, src_task=move.src_task, label=move.label,
-        )
-    return move
-
-
-def rebind_graph(graph: TaskGraph, mapping: dict[int, int],
-                 n_devices: Optional[int] = None) -> TaskGraph:
-    """Re-bind every task on ``mapping``'s source devices to its target.
-
-    Late binding makes this legal: the schedule's structure (task order,
-    dependencies, move lists) is untouched; only device bindings change.
-    P2P moves whose endpoints land on the same device are converted to
-    LOCAL.  Raises :class:`GpuDegradedError` if a target device is itself
-    a mapping source (i.e. still degraded) and ``ValueError`` on an
-    out-of-range target.
-    """
-    bound = n_devices if n_devices is not None else graph.n_devices
-    for src, dst in mapping.items():
-        if not 0 <= dst < bound:
-            raise ValueError(
-                f"rebind target gpu{dst} outside device range [0, {bound})"
-            )
-        if dst in mapping:
-            raise GpuDegradedError(
-                f"cannot re-bind gpu{src} onto gpu{dst}: the target is "
-                f"itself degraded", entity=f"gpu{dst}",
-            )
-    task_device = {
-        t.tid: mapping.get(t.device, t.device) for t in graph.tasks
-    }
-    rebound = TaskGraph(
-        mode=graph.mode,
-        n_devices=bound,
-        pageable_swaps=graph.pageable_swaps,
-    )
-    for task in graph.tasks:
-        new_device = task_device[task.tid]
-        moved: Task = task.with_device(new_device)
-        moved.ins = [
-            _remap_move(m, task_device, mapping, new_device)
-            for m in task.ins
-        ]
-        moved.outs = [
-            _remap_move(m, task_device, mapping, new_device)
-            for m in task.outs
-        ]
-        rebound.add(moved)
-    return rebound
+__all__ = [
+    "FaultTolerantRunner",
+    "check_byte_invariants",
+    "rebind_graph",  # re-exported from repro.elastic.rebind
+]
 
 
 def check_byte_invariants(graph: TaskGraph, metrics: RunMetrics) -> None:
@@ -177,6 +139,7 @@ class FaultTolerantRunner:
         max_steps: Optional[int] = DEFAULT_MAX_STEPS,
         horizon: Optional[float] = None,
         check_invariants: bool = True,
+        replanner: Optional["ElasticReplanner"] = None,
     ):
         self.spec = spec
         self.time_model = time_model
@@ -187,6 +150,9 @@ class FaultTolerantRunner:
         self.max_steps = max_steps
         self.horizon = horizon
         self.check_invariants = check_invariants
+        #: elastic escalation target; None leaves only rebind-level rescue
+        #: (anything with ``.replan(survivors) -> ElasticPlan`` works)
+        self.replanner = replanner
 
     # -- re-bind planning ---------------------------------------------------------
 
@@ -250,6 +216,131 @@ class FaultTolerantRunner:
             recovery.faults_injected += injector.total_injected
             raise
 
+    # -- rescue (re-bind and elastic escalation) ----------------------------------
+
+    def _rescue(
+        self,
+        current: TaskGraph,
+        iteration: int,
+        attempt: int,
+        recovery: RecoveryMetrics,
+        elastic: ElasticMetrics,
+        monitor: DeviceHealthMonitor,
+        dead: set[int],
+        retired: set[int],
+    ) -> TaskGraph:
+        """Rescue ``current`` from dead/degraded devices before an attempt.
+
+        Called at every iteration boundary (``attempt == 0``) and again
+        between restart attempts (``attempt > 0``) so a mid-iteration GPU
+        loss is recovered on the very next attempt instead of burning the
+        whole restart budget.  The ladder, cheapest rung first:
+
+        1. **re-bind**: troubled in-use devices (lost first, then
+           persistently degraded beyond ``rebind_threshold``) move 1:1
+           onto idle healthy spares -- repeatable, every boundary;
+        2. **re-plan**: devices still stranded after re-binding escalate.
+           A *lost* device escalates immediately (dead hardware earns no
+           patience); a *degraded* one only after ``replan_patience``
+           consecutive strikes on the health monitor.  The scheduler
+           re-plans on the survivors and state migrates to the new
+           packing at real link cost.
+
+        A device dying at iteration ``i`` is only treated as detected
+        once an attempt of iteration ``i`` has actually failed -- the
+        loss surfaces as a :class:`GpuLostError` first, like real XID
+        detection, so the injected fault is observed, counted, and then
+        recovered.
+        """
+        probe = FaultInjector(self.plan, context=(iteration, attempt))
+        horizon = iteration if attempt > 0 else iteration - 1
+        for device, death in probe.lost_gpus(self.spec.n_gpus):
+            if death <= horizon and device not in dead:
+                dead.add(device)
+                elastic.devices_lost += 1
+                monitor.forget(device)
+        used = {t.device for t in current.tasks}
+        degraded: dict[int, float] = {}
+        if iteration > 0 and attempt == 0 and self.policy.rebind:
+            degraded = {
+                device: multiplier
+                for device, multiplier, persistent in
+                probe.degraded_gpus(self.spec.n_gpus)
+                if persistent
+                and multiplier >= self.policy.rebind_threshold
+                and device not in dead and device not in retired
+            }
+        # Rung 1: 1:1 re-bind onto idle healthy spares, lost devices first.
+        if self.policy.rebind:
+            spares = [
+                d for d in range(self.spec.n_gpus)
+                if d not in used and d not in dead and d not in retired
+                and d not in degraded
+            ]
+            mapping: dict[int, int] = {}
+            troubled = sorted(dead & used) + sorted(
+                d for d in degraded if d in used
+            )
+            for device in troubled:
+                if not spares:
+                    break
+                mapping[device] = spares.pop(0)
+            if mapping:
+                current = rebind_graph(current, mapping,
+                                       n_devices=self.spec.n_gpus)
+                recovery.rebinds += len(mapping)
+                used = {t.device for t in current.tasks}
+        # Rung 2: elastic re-plan for whoever re-binding could not save.
+        stranded_lost = sorted(dead & used)
+        condemned: set[int] = set()
+        if iteration > 0 and attempt == 0:
+            for device in sorted(used - dead):
+                if monitor.observe(device, device in degraded):
+                    condemned.add(device)
+        if not stranded_lost and not condemned:
+            return current
+        if (
+            not self.policy.elastic
+            or self.replanner is None
+            or elastic.replans >= self.policy.max_replans
+        ):
+            # No re-plan available: a stranded loss keeps failing until
+            # the restart budget surfaces it as UnrecoveredFaultError; a
+            # stranded straggler just runs slow (degradation, not death).
+            return current
+        survivors = [
+            d for d in range(self.spec.n_gpus)
+            if d not in dead and d not in retired and d not in condemned
+        ]
+        try:
+            eplan = self.replanner.replan(survivors)
+            moves = plan_migration(
+                current, eplan.graph, eplan.plan.profiles, lost=dead,
+            )
+            report = MigrationExecutor(
+                self.spec, p2p=eplan.plan.options.p2p,
+            ).run(moves)
+        except FaultError:
+            raise
+        except ReproError as exc:
+            stranded = stranded_lost or sorted(condemned)
+            raise UnrecoveredFaultError(
+                f"elastic re-plan on {len(survivors)} survivor(s) failed "
+                f"at iteration {iteration}: {exc}",
+                entity=f"gpu{stranded[0]}" if stranded else "",
+            ) from exc
+        for device in condemned:
+            retired.add(device)
+            monitor.forget(device)
+        elastic.replans += 1
+        if eplan.mode_switched:
+            elastic.mode_switches += 1
+        elastic.migrations += report.n_moves
+        elastic.migration_time += report.time
+        elastic.migration_p2p_bytes += report.p2p_bytes
+        elastic.migration_host_bytes += report.host_bytes
+        return eplan.graph
+
     def run(self, graph: TaskGraph, iterations: int = 1) -> RunMetrics:
         """Execute ``iterations`` iterations under the fault plan."""
         if not self.plan.enabled:
@@ -267,21 +358,27 @@ class FaultTolerantRunner:
             return executor.run(graph, iterations=iterations)
 
         recovery = RecoveryMetrics()
+        elastic = ElasticMetrics()
+        monitor = DeviceHealthMonitor(self.policy.replan_patience)
+        dead: set[int] = set()
+        retired: set[int] = set()
         gpus = [GpuMetrics() for _ in range(self.spec.n_gpus)]
         total_time = 0.0
         host_peak = 0
         minibatch = 0
         current = graph
-        rebound_once = False
+
+        def rescue(iteration: int, attempt: int) -> None:
+            # Migration is wall-clock the run really spends: fold the
+            # phase's virtual time into the total alongside iterations.
+            nonlocal current, total_time
+            before = elastic.migration_time
+            current = self._rescue(current, iteration, attempt, recovery,
+                                   elastic, monitor, dead, retired)
+            total_time += elastic.migration_time - before
+
         for iteration in range(iterations):
-            if iteration > 0 and self.policy.rebind and not rebound_once:
-                probe = FaultInjector(self.plan)
-                mapping = self._rebind_mapping(current, probe)
-                if mapping:
-                    current = rebind_graph(current, mapping,
-                                           n_devices=self.spec.n_gpus)
-                    recovery.rebinds += len(mapping)
-                    rebound_once = True
+            rescue(iteration, 0)
             metrics: Optional[RunMetrics] = None
             for attempt in range(self.policy.max_iteration_restarts + 1):
                 try:
@@ -296,6 +393,7 @@ class FaultTolerantRunner:
                             entity=getattr(exc, "entity", ""),
                         ) from exc
                     recovery.restarts += 1
+                    rescue(iteration, attempt + 1)
                     continue
                 break
             assert metrics is not None
@@ -321,4 +419,5 @@ class FaultTolerantRunner:
             gpus=gpus,
             host_peak_bytes=host_peak,
             recovery=recovery,
+            elastic=elastic,
         )

@@ -534,6 +534,12 @@ class Executor:
             yield rt.input_ready[index]
             duration = self.time_model.microbatch_time(task, u)
             if self.faults is not None:
+                lost = self.faults.lost_fault(device)
+                if lost is not None:
+                    # Dead hardware: the kernel launch surfaces the loss.
+                    # Not retryable on this device -- escalation (rebind,
+                    # elastic re-plan) happens above the iteration.
+                    raise lost
                 duration *= self.faults.compute_multiplier(device)
             yield from self._compute_attempt(device, rt, index, duration)
             rt.mb_done[index].succeed()
@@ -551,6 +557,12 @@ class Executor:
 
         def op() -> Generator:
             yield rt.input_ready[0] if rt.input_ready else rt.state_ready
+            if self.faults is not None and not task.on_cpu:
+                # CPU-offloaded updates survive a dead GPU (the host
+                # process is fine); on-GPU updates cannot run on a corpse.
+                lost = self.faults.lost_fault(device)
+                if lost is not None:
+                    raise lost
             start = self.sim.now
             yield self.sim.timeout(duration)
             if task.on_cpu:

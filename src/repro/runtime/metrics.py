@@ -94,6 +94,64 @@ class RecoveryMetrics:
 
 
 @dataclass
+class ElasticMetrics:
+    """Every elastic action a run took: re-plans and state migration.
+
+    All zeros unless the escalation ladder actually reached a re-plan --
+    the bit-identity guarantee for fault-free (and spare-rescued) runs
+    depends on this staying pay-for-use.
+    """
+
+    #: full scheduler re-invocations on a reduced device set
+    replans: int = 0
+    #: devices permanently lost during the run
+    devices_lost: int = 0
+    #: re-plans that had to change execution mode (e.g. DP -> PP)
+    mode_switches: int = 0
+    #: aggregated migration moves executed across all re-plans
+    migrations: int = 0
+    #: virtual seconds spent migrating state (included in total run time)
+    migration_time: float = 0.0
+    #: migration bytes that rode surviving p2p paths
+    migration_p2p_bytes: int = 0
+    #: migration bytes that rode host links (restores, spills, relays)
+    migration_host_bytes: int = 0
+
+    @property
+    def migration_bytes(self) -> int:
+        return self.migration_p2p_bytes + self.migration_host_bytes
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.replans > 0 or self.devices_lost > 0
+            or self.migrations > 0
+        )
+
+    def accumulate(self, other: "ElasticMetrics") -> None:
+        self.replans += other.replans
+        self.devices_lost += other.devices_lost
+        self.mode_switches += other.mode_switches
+        self.migrations += other.migrations
+        self.migration_time += other.migration_time
+        self.migration_p2p_bytes += other.migration_p2p_bytes
+        self.migration_host_bytes += other.migration_host_bytes
+
+    def describe(self) -> str:
+        switches = (
+            f" ({self.mode_switches} mode switch(es))"
+            if self.mode_switches else ""
+        )
+        return (
+            f"elastic: {self.devices_lost} device(s) lost, "
+            f"{self.replans} re-plan(s){switches}; migration "
+            f"{self.migrations} moves, {self.migration_time:.3f}s, "
+            f"p2p {self.migration_p2p_bytes / 2**20:.2f} MiB, "
+            f"host {self.migration_host_bytes / 2**20:.2f} MiB"
+        )
+
+
+@dataclass
 class RunMetrics:
     """One iteration's results."""
 
@@ -103,6 +161,7 @@ class RunMetrics:
     gpus: list[GpuMetrics] = field(default_factory=list)
     host_peak_bytes: int = 0
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
+    elastic: ElasticMetrics = field(default_factory=ElasticMetrics)
 
     @property
     def throughput(self) -> float:
@@ -147,4 +206,6 @@ class RunMetrics:
             )
         if self.recovery.any:
             lines.append(f"  {self.recovery.describe()}")
+        if self.elastic.any:
+            lines.append(f"  {self.elastic.describe()}")
         return "\n".join(lines)

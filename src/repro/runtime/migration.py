@@ -1,0 +1,108 @@
+"""Executes a planned state migration over the real simulated links.
+
+The moves come from :func:`repro.elastic.migration.plan_migration`; this
+module spends the virtual time.  Every move runs as its own simulator
+process, so migrations contend with each other on shared hops (several
+survivors restoring from the host checkpoint all squeeze through the
+oversubscribed switch uplinks -- the same bottleneck training traffic
+fights over), and the reported migration time is the makespan of the
+whole phase, not a sum of uncontended transfer times.
+
+Routing mirrors the training executor's conventions:
+
+- host -> GPU (checkpoint restore) rides the host-to-GPU tree path;
+- GPU -> host (state spill) rides the GPU-to-host path plus the pageable
+  staging engine, like every pageable swap;
+- GPU -> GPU rides the p2p path when the plan allows p2p, else the
+  host-staged relay (both legs counted as host traffic, exactly like the
+  executor's p2p->swap fallback accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+from repro.elastic.migration import MigrationMove
+from repro.hardware.server import ServerSpec, SimulatedServer
+from repro.sim.engine import Simulator
+from repro.sim.links import transfer
+
+#: Watchdog for the migration phase: a handful of bulk transfers needs
+#: a few thousand events at most; runaway growth means a broken move.
+MIGRATION_MAX_STEPS = 1_000_000
+
+
+@dataclass
+class MigrationReport:
+    """What one migration phase cost."""
+
+    time: float = 0.0
+    p2p_bytes: int = 0
+    host_bytes: int = 0
+    n_moves: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"migration: {self.n_moves} moves in {self.time:.3f}s, "
+            f"p2p {self.p2p_bytes / 2**20:.2f} MiB, "
+            f"host {self.host_bytes / 2**20:.2f} MiB"
+        )
+
+
+class MigrationExecutor:
+    """Run a migration move list on a fresh simulated server."""
+
+    def __init__(self, spec: ServerSpec, p2p: bool = True):
+        self.spec = spec
+        self.p2p = p2p
+
+    def _move_op(self, live: SimulatedServer, sim: Simulator,
+                 move: MigrationMove,
+                 report: MigrationReport) -> Generator:
+        tree = live.tree
+        if move.src is None and move.dst is None:
+            raise SimulationError(
+                f"host->host migration move should have been elided: {move}"
+            )
+        if move.src is None:
+            # Checkpoint restore: host -> surviving GPU.
+            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes)
+            report.host_bytes += move.nbytes
+        elif move.dst is None:
+            # State spill: GPU -> host (pageable, so staging throttles).
+            path = tree.gpu_to_host(move.src) + [live.pageable_staging]
+            yield from transfer(sim, path, move.nbytes)
+            report.host_bytes += move.nbytes
+        elif self.p2p:
+            yield from transfer(
+                sim, tree.gpu_to_gpu(move.src, move.dst), move.nbytes
+            )
+            report.p2p_bytes += move.nbytes
+        else:
+            # No p2p allowed: host-staged relay, both legs real traffic.
+            up = tree.gpu_to_host(move.src) + [live.pageable_staging]
+            yield from transfer(sim, up, move.nbytes)
+            report.host_bytes += move.nbytes
+            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes)
+            report.host_bytes += move.nbytes
+
+    def run(self, moves: Iterable[MigrationMove],
+            max_steps: Optional[int] = MIGRATION_MAX_STEPS) -> MigrationReport:
+        """Execute all moves concurrently; returns the phase's cost."""
+        report = MigrationReport()
+        todo = list(moves)
+        if not todo:
+            return report
+        sim = Simulator()
+        live = SimulatedServer(sim, self.spec)
+        for i, move in enumerate(todo):
+            sim.process(
+                self._move_op(live, sim, move, report),
+                name=f"{move.label}#{i}",
+            )
+        sim.run(max_steps=max_steps)
+        report.time = sim.now
+        report.n_moves = len(todo)
+        return report

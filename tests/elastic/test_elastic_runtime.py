@@ -1,0 +1,164 @@
+"""The elastic escalation ladder end to end, under scripted faults.
+
+Each test pins one rung or transition: loss rescued by a spare (rebind,
+no re-plan), loss with no spare (re-plan + costed migration), degraded
+device condemned after the health monitor's patience, policy gates that
+keep a stranded loss fatal, and the pay-for-use bit-identity guarantee.
+"""
+
+import pytest
+
+from repro.common.errors import UnrecoveredFaultError
+from repro.elastic import ElasticReplanner
+from repro.faults import RecoveryPolicy, ScriptedFaultPlan
+from repro.experiments.common import server_for
+
+# toy PP plan facts (see tests/faults/conftest.py): 2 devices bound,
+# both own state; 'input#0' is a swap chunk of the first forward task.
+SWAP_CHUNK = "input#0"
+
+
+class TestLossWithSpare:
+    def test_rebound_not_replanned(self, toy_pp, make_elastic_runner):
+        # On a 4-GPU server the 2-device toy plan leaves gpu2/gpu3 idle:
+        # a permanent loss is absorbed by the cheap rung (1:1 rebind),
+        # never escalating to the scheduler.
+        plan = ScriptedFaultPlan(losses={1: 1})
+        runner = make_elastic_runner(toy_pp, plan, spec=server_for(4))
+        metrics = runner.run(toy_pp.plan().graph, iterations=3)
+        assert metrics.recovery.rebinds == 1
+        assert metrics.elastic.devices_lost == 1
+        assert metrics.elastic.replans == 0
+        assert metrics.elastic.migrations == 0
+
+
+class TestLossWithoutSpare:
+    def test_replanned_with_costed_migration(self, toy_pp,
+                                             make_elastic_runner):
+        # Both devices of the 2-GPU server are in use; gpu1 dies at
+        # iteration 1.  The loss surfaces as a fatal fault first (real
+        # detection happens at failure), then the re-plan takes over.
+        plan = ScriptedFaultPlan(losses={1: 1})
+        runner = make_elastic_runner(toy_pp, plan)
+        metrics = runner.run(toy_pp.plan().graph, iterations=3)
+        assert metrics.elastic.devices_lost == 1
+        assert metrics.elastic.replans == 1
+        assert metrics.elastic.migrations > 0
+        assert metrics.elastic.migration_time > 0
+        assert metrics.elastic.migration_bytes > 0
+        # gpu1 owned state and is dead: its layers restore from the host
+        # checkpoint, so the migration rode the host links
+        assert metrics.elastic.migration_host_bytes > 0
+        assert metrics.recovery.faults_injected >= 1
+        assert metrics.recovery.restarts >= 1
+        assert "elastic" in metrics.describe()
+        assert "migration" in metrics.elastic.describe()
+
+    def test_migration_time_counts_toward_iteration_time(
+            self, toy_pp, make_elastic_runner):
+        # The reported time must decompose exactly: one healthy 2-GPU
+        # iteration, the migration phase, then two 1-GPU iterations on
+        # the re-planned graph.  (The failed detection attempt costs no
+        # counted time -- its work is discarded with the restart.)
+        graph = toy_pp.plan().graph
+        lossy = make_elastic_runner(
+            toy_pp, ScriptedFaultPlan(losses={1: 1}),
+        ).run(graph, iterations=3)
+        t2 = make_elastic_runner(toy_pp, ScriptedFaultPlan()).run(
+            graph).iteration_time
+        replanned = ElasticReplanner(toy_pp).replan([0]).graph
+        t1 = make_elastic_runner(toy_pp, ScriptedFaultPlan()).run(
+            replanned).iteration_time
+        expected = (t2 + 2 * t1 + lossy.elastic.migration_time) / 3
+        assert lossy.iteration_time == pytest.approx(expected, rel=1e-9)
+        assert lossy.elastic.migration_time > 0
+
+    def test_dp_loss_replans_on_survivor(self, toy_dp, make_elastic_runner):
+        # DP's single reduced update makes gpu0 the sole owner; killing
+        # it forces every byte to restore from the host checkpoint.
+        plan = ScriptedFaultPlan(losses={0: 1})
+        runner = make_elastic_runner(toy_dp, plan)
+        metrics = runner.run(toy_dp.plan().graph, iterations=3)
+        assert metrics.elastic.replans == 1
+        assert metrics.elastic.migration_host_bytes > 0
+
+
+class TestDegradedCondemnation:
+    def test_straggler_with_no_spare_condemned_after_patience(
+            self, toy_pp, make_elastic_runner):
+        # gpu1 is persistently 3x slow from the start; the 2-GPU server
+        # has no spare, so rebind cannot help.  The health monitor takes
+        # replan_patience consecutive strikes before condemning it --
+        # then the run re-plans onto gpu0 alone, migrating gpu1's state
+        # p2p (the device is slow, not dead).
+        plan = ScriptedFaultPlan(slowdowns={1: (3.0, True)})
+        policy = RecoveryPolicy(replan_patience=2)
+        runner = make_elastic_runner(toy_pp, plan, policy=policy)
+        metrics = runner.run(toy_pp.plan().graph, iterations=4)
+        assert metrics.elastic.replans == 1
+        assert metrics.elastic.devices_lost == 0
+        assert metrics.elastic.migration_p2p_bytes > 0
+
+    def test_patience_not_yet_exhausted_no_replan(self, toy_pp,
+                                                  make_elastic_runner):
+        plan = ScriptedFaultPlan(slowdowns={1: (3.0, True)})
+        policy = RecoveryPolicy(replan_patience=4)
+        runner = make_elastic_runner(toy_pp, plan, policy=policy)
+        metrics = runner.run(toy_pp.plan().graph, iterations=3)
+        assert metrics.elastic.replans == 0
+
+    def test_late_onset_degradation_condemned(self, toy_pp,
+                                              make_elastic_runner):
+        # A device that sickens at iteration 2 (healthy before) is
+        # condemned once its strikes accumulate -- detection works on
+        # histories, not just run-scoped stragglers.
+        plan = ScriptedFaultPlan(slowdowns_at={1: (2, 3.0, True)})
+        policy = RecoveryPolicy(replan_patience=2)
+        runner = make_elastic_runner(toy_pp, plan, policy=policy)
+        metrics = runner.run(toy_pp.plan().graph, iterations=6)
+        assert metrics.elastic.replans == 1
+
+
+class TestPolicyGates:
+    @pytest.mark.parametrize("policy", [
+        RecoveryPolicy(elastic=False),
+        RecoveryPolicy(max_replans=0),
+    ], ids=["elastic-off", "max-replans-0"])
+    def test_stranded_loss_fatal_when_replan_gated(
+            self, toy_pp, make_elastic_runner, policy):
+        plan = ScriptedFaultPlan(losses={1: 1})
+        runner = make_elastic_runner(toy_pp, plan, policy=policy)
+        with pytest.raises(UnrecoveredFaultError):
+            runner.run(toy_pp.plan().graph, iterations=3)
+
+    def test_stranded_loss_fatal_without_replanner(self, toy_pp,
+                                                   make_elastic_runner):
+        plan = ScriptedFaultPlan(losses={1: 1})
+        runner = make_elastic_runner(toy_pp, plan, replanner=None)
+        with pytest.raises(UnrecoveredFaultError):
+            runner.run(toy_pp.plan().graph, iterations=3)
+
+
+class TestPayForUse:
+    def test_transient_faults_bit_identical_with_elastic_enabled(
+            self, toy_pp, make_elastic_runner):
+        # No permanent fault -> the elastic machinery must not perturb a
+        # single metric relative to the rebind-only runner (PR 2
+        # behavior): probes are stateless, migration never runs.
+        graph = toy_pp.plan().graph
+        plan = ScriptedFaultPlan(transfer_faults={(SWAP_CHUNK, 0): 0.5})
+        with_elastic = make_elastic_runner(toy_pp, plan).run(
+            graph, iterations=2)
+        without = make_elastic_runner(toy_pp, plan, replanner=None).run(
+            graph, iterations=2)
+        assert with_elastic.describe() == without.describe()
+        assert with_elastic.iteration_time == without.iteration_time
+        assert not with_elastic.elastic.any
+        assert "elastic" not in with_elastic.describe()
+
+    def test_clean_run_reports_no_elastic_line(self, toy_pp,
+                                               make_elastic_runner):
+        metrics = make_elastic_runner(toy_pp, ScriptedFaultPlan()).run(
+            toy_pp.plan().graph, iterations=2)
+        assert not metrics.elastic.any
+        assert "elastic" not in metrics.describe()

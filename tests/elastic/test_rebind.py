@@ -1,0 +1,68 @@
+"""relabel_graph: the simultaneous logical->physical device relabel.
+
+The recovery rebind (sequential, target-must-be-healthy) is covered in
+tests/faults/test_recovery.py; these tests pin the elastic relabel's
+distinct semantics -- simultaneous application, injectivity, and the
+absence of spurious P2P collapses.
+"""
+
+import pytest
+
+from repro.core.types import Channel
+from repro.elastic import rebind_graph, relabel_graph
+
+
+class TestRelabelGraph:
+    def test_target_may_equal_another_source(self, toy_pp):
+        # {0: 1, 1: 2} relabels simultaneously: old-gpu0 tasks land on
+        # gpu1, old-gpu1 tasks on gpu2 -- nothing collapses.  The same
+        # mapping is an illegal *rebind* (target 1 is itself a source).
+        graph = toy_pp.plan().graph
+        moved = relabel_graph(graph, {0: 1, 1: 2}, n_devices=4)
+        assert {t.device for t in moved.tasks} == {1, 2}
+        assert moved.p2p_bytes() == graph.p2p_bytes()
+        moved.validate()
+        with pytest.raises(Exception):
+            rebind_graph(graph, {0: 1, 1: 2}, n_devices=4)
+
+    def test_swap_is_legal(self, toy_pp):
+        graph = toy_pp.plan().graph
+        swapped = relabel_graph(graph, {0: 1, 1: 0})
+        assert {t.device for t in swapped.tasks} == {0, 1}
+        assert swapped.p2p_bytes() == graph.p2p_bytes()
+        swapped.validate()
+
+    def test_non_injective_mapping_rejected(self, toy_pp):
+        graph = toy_pp.plan().graph
+        with pytest.raises(ValueError, match="not injective"):
+            relabel_graph(graph, {0: 1, 1: 1}, n_devices=4)
+
+    def test_out_of_range_target_rejected(self, toy_pp):
+        graph = toy_pp.plan().graph
+        with pytest.raises(ValueError, match="outside"):
+            relabel_graph(graph, {0: 5})
+
+    def test_no_spurious_p2p_collapse(self, toy_pp):
+        # Distinct targets keep every P2P move a real transfer; only a
+        # genuine endpoint collision may become LOCAL, and an injective
+        # relabel never creates one.
+        graph = toy_pp.plan().graph
+        assert graph.p2p_bytes() > 0
+        moved = relabel_graph(graph, {0: 3, 1: 2}, n_devices=4)
+        channels = [
+            m.channel for t in moved.tasks for _, m in t.moves()
+        ]
+        assert channels.count(Channel.P2P) == [
+            m.channel for t in graph.tasks for _, m in t.moves()
+        ].count(Channel.P2P)
+
+    def test_original_graph_untouched(self, toy_pp):
+        graph = toy_pp.plan().graph
+        before = [(t.tid, t.device) for t in graph.tasks]
+        relabel_graph(graph, {0: 1, 1: 0})
+        assert [(t.tid, t.device) for t in graph.tasks] == before
+
+    def test_n_devices_widens_device_range(self, toy_pp):
+        graph = toy_pp.plan().graph
+        moved = relabel_graph(graph, {1: 3}, n_devices=4)
+        assert moved.n_devices == 4

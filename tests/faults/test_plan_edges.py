@@ -1,0 +1,119 @@
+"""FaultPlan edge cases: overlapping windows and restart straddling.
+
+Every plan decision is a stateless hash draw, so two properties must
+hold no matter how pathological the window layout gets:
+
+- *determinism / order independence*: the answer to any (entity, epoch,
+  context) question is fixed by the seed alone -- asking in a different
+  order, or from a fresh plan object, changes nothing;
+- *bounded degradation*: overlapping windows (a link flapping while the
+  host is under memory pressure) compound multiplicatively but stay in
+  (0, 1] -- overlap can never speed a link up or stall it completely.
+"""
+
+from repro.faults import FaultPlan, FaultSpec
+
+WINDOW_SPEC = FaultSpec(link_degrade_rate=0.5, host_pressure_rate=0.5)
+
+
+class TestOverlappingWindows:
+    def test_same_link_windows_deterministic_any_query_order(self):
+        plan = FaultPlan(WINDOW_SPEC, seed=3)
+        link = "uplink0-up"
+        forward = [plan.link_degradation(link, e, (0, 0))
+                   for e in range(32)]
+        backward = [plan.link_degradation(link, e, (0, 0))
+                    for e in reversed(range(32))]
+        assert forward == backward[::-1]
+        assert all(0.0 < f <= 1.0 for f in forward)
+        # rate 0.5 over 32 epochs: both healthy and degraded epochs occur
+        assert any(f < 1.0 for f in forward)
+        assert any(f == 1.0 for f in forward)
+
+    def test_fresh_plan_object_gives_identical_windows(self):
+        link = "leaf2-down"
+        a = [FaultPlan(WINDOW_SPEC, seed=9).link_degradation(link, e, ())
+             for e in range(32)]
+        b = [FaultPlan(WINDOW_SPEC, seed=9).link_degradation(link, e, ())
+             for e in range(32)]
+        assert a == b
+
+    def test_overlap_with_host_pressure_stays_in_unit_interval(self):
+        # The uplinks see flap * pressure (see FaultInjector.arm); in
+        # epochs where both windows cover the link the compound factor
+        # must stay a slowdown, never a speedup or a total stall.
+        plan = FaultPlan(WINDOW_SPEC, seed=5)
+        compounds = [
+            plan.link_degradation("uplink1-up", e, ())
+            * plan.host_pressure(e, ())
+            for e in range(64)
+        ]
+        assert all(0.0 < c <= 1.0 for c in compounds)
+        # with both rates at 0.5 some epoch overlaps both windows, and
+        # the overlap compounds below either single factor
+        floor = (WINDOW_SPEC.link_degrade_factor
+                 * WINDOW_SPEC.host_pressure_factor)
+        assert min(compounds) == floor
+
+    def test_distinct_links_same_epoch_draw_independently(self):
+        plan = FaultPlan(FaultSpec(link_degrade_rate=0.5), seed=11)
+        factors = [plan.link_degradation(f"leaf{i}-up", 7, ())
+                   for i in range(16)]
+        assert any(f < 1.0 for f in factors)
+        assert any(f == 1.0 for f in factors)
+
+
+class TestRestartBoundaryStraddling:
+    def test_windows_straddling_restart_are_order_independent(self):
+        # A degradation window that spans an iteration-restart boundary
+        # is really two independent draws -- one per (iteration, attempt)
+        # context -- and neither draw may depend on which context asked
+        # first or how queries interleave.
+        plan = FaultPlan(WINDOW_SPEC, seed=7)
+        link = "uplink0-up"
+        contexts = [(1, 0), (1, 1), (2, 0)]
+        epochs = list(range(16))
+        first = {(c, e): plan.link_degradation(link, e, c)
+                 for c in contexts for e in epochs}
+        second = {}
+        for e in reversed(epochs):
+            for c in reversed(contexts):
+                second[(c, e)] = plan.link_degradation(link, e, c)
+        assert first == second
+
+    def test_restart_attempt_rolls_fresh_dice(self):
+        # Same iteration, next attempt: the window layout re-draws (else
+        # a fault-doomed iteration would deterministically re-fail), yet
+        # each context alone stays reproducible.
+        plan = FaultPlan(FaultSpec(link_degrade_rate=0.5), seed=9)
+        a = [plan.link_degradation("uplink0-up", e, (1, 0))
+             for e in range(64)]
+        b = [plan.link_degradation("uplink0-up", e, (1, 1))
+             for e in range(64)]
+        assert a != b
+        assert a == [plan.link_degradation("uplink0-up", e, (1, 0))
+                     for e in range(64)]
+
+    def test_transfer_decisions_order_independent_across_contexts(self):
+        plan = FaultPlan(FaultSpec(transfer_fault_rate=0.3), seed=13)
+        keys = [
+            (f"gpu{d}:swap-in", "w#0", attempt, (iteration, restart))
+            for d in range(2)
+            for attempt in range(3)
+            for iteration in range(2)
+            for restart in range(2)
+        ]
+        first = {k: plan.transfer_fault(*k) for k in keys}
+        second = {k: plan.transfer_fault(*k) for k in reversed(keys)}
+        assert first == second
+        assert any(v is not None for v in first.values())
+        assert any(v is None for v in first.values())
+
+    def test_loss_is_run_scoped_not_context_scoped(self):
+        # Restarting an iteration must not resurrect dead hardware: the
+        # loss decision takes no context at all.
+        plan = FaultPlan(FaultSpec(gpu_loss_rate=1.0), seed=2)
+        deaths = {d: plan.gpu_loss(d) for d in range(4)}
+        assert all(death is not None and death >= 1
+                   for death in deaths.values())
+        assert deaths == {d: plan.gpu_loss(d) for d in range(4)}

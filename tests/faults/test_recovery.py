@@ -188,6 +188,20 @@ class TestRebind:
         metrics = runner.run(toy_harmony.plan().graph, iterations=2)
         assert metrics.recovery.rebinds == 0
 
+    def test_two_sequential_degradations_both_rebound(self, toy_harmony,
+                                                      make_runner):
+        # Regression for the old single-rebind limit: gpu0 sickens at
+        # iteration 1 and is rebound to a spare; gpu1 sickens at
+        # iteration 3 and must be rescued exactly the same way -- rebind
+        # repeats at every boundary as long as spares remain.
+        plan = ScriptedFaultPlan(slowdowns_at={
+            0: (1, 3.0, True),
+            1: (3, 3.0, True),
+        })
+        runner = make_runner(plan, spec=server_for(4))
+        metrics = runner.run(toy_harmony.plan().graph, iterations=5)
+        assert metrics.recovery.rebinds == 2
+
     def test_straggler_slows_the_iteration(self, toy_harmony, make_runner):
         graph = toy_harmony.plan().graph
         clean = make_runner(ScriptedFaultPlan()).run(graph)
