@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze chaos-smoke
+.PHONY: check lint typecheck test analyze chaos-smoke trace-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -27,3 +27,11 @@ analyze:
 # seed hangs (watchdog) or breaks byte accounting.
 chaos-smoke:
 	python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3
+
+# Record a traced run (clean + chaos), invariant-check it, and export
+# Perfetto JSON; exits nonzero if the trace breaks a runtime invariant.
+trace-smoke:
+	python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \
+	    --out trace-clean.json --text
+	python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \
+	    --chaos-seed 1 --out trace-chaos.json

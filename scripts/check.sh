@@ -32,4 +32,12 @@ echo "== chaos smoke =="
 python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3 \
     || failed=1
 
+echo "== trace smoke =="
+# Record, invariant-check, and export a clean and a chaos trace; the CLI
+# exits nonzero if the recorded timeline violates a runtime invariant.
+python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \
+    --out trace-clean.json || failed=1
+python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \
+    --chaos-seed 1 --out trace-chaos.json || failed=1
+
 exit "$failed"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Regenerate the golden execution traces under ``tests/trace/golden/``.
+
+The goldens pin the exact event sequence (canonical line format,
+``repr``-printed floats, so bit-stable) of seeded fault-free runs for the
+small zoo models in both execution modes.  ``tests/trace/test_golden.py``
+imports THIS file for the matrix and the recording procedure, so test and
+regeneration can never drift apart.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+Only regenerate when a scheduler/runtime change legitimately moves the
+timeline, commit the new goldens together with that change, and explain
+the movement in the commit message.  A golden diff you cannot explain is
+a regression, not churn.
+"""
+
+from pathlib import Path
+
+#: (model, mode) cells of the golden matrix.
+GOLDEN = (
+    ("toy-transformer", "pp"),
+    ("toy-transformer", "dp"),
+    ("tiny-cnn", "pp"),
+    ("tiny-cnn", "dp"),
+)
+GPUS = 2
+MINIBATCH = 8
+ITERATIONS = 1
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "trace" / "golden"
+
+
+def golden_path(model: str, mode: str) -> Path:
+    return GOLDEN_DIR / f"{model}-{mode}.trace"
+
+
+def record(model: str, mode: str) -> str:
+    """One seeded fault-free traced run; returns the canonical trace text."""
+    from repro.core.harmony import Harmony, HarmonyOptions
+    from repro.experiments.common import server_for
+    from repro.trace import TraceRecorder
+
+    harmony = Harmony(
+        model, server_for(GPUS), MINIBATCH,
+        options=HarmonyOptions(mode=mode),
+    )
+    recorder = TraceRecorder()
+    harmony.run(iterations=ITERATIONS, trace=recorder)
+    return recorder.canonical() + "\n"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for model, mode in GOLDEN:
+        path = golden_path(model, mode)
+        path.write_text(record(model, mode))
+        lines = path.read_text().count("\n")
+        print(f"wrote {path.relative_to(Path.cwd())} ({lines} events)")
+
+
+if __name__ == "__main__":
+    main()

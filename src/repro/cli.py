@@ -10,6 +10,9 @@ Four subcommands:
   dataflow, capacity, topology, ablation consistency) without executing;
   exits nonzero when the analyzer reports errors;
 - ``experiment`` -- regenerate one of the paper's tables/figures by name;
+- ``trace`` -- execute with the trace recorder attached, validate the
+  recorded timeline against the runtime invariants, and export it as
+  Chrome/Perfetto ``trace_event`` JSON and/or an ASCII timeline;
 - ``chaos`` -- run a fault-injection sweep: execute the planned schedule
   under a seeded chaos fault plan for a range of seeds, reporting per-seed
   outcomes (completed + recovery counters, or the typed error) and a
@@ -25,6 +28,8 @@ Examples::
     python -m repro.cli check gpt2 --minibatch 64 --mode pp
     python -m repro.cli check gpt2 --minibatch 64 --inject cycle
     python -m repro.cli experiment fig09 --fast
+    python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \\
+        --out trace.json --text
     python -m repro.cli chaos gpt2 --minibatch 32 --seeds 10 --intensity 1.5
     python -m repro.cli chaos gpt2 --minibatch 16 --gpus 4 --seeds 5 \\
         --devices-lost 1 --iterations 3 --json chaos-elastic.json
@@ -94,6 +99,28 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--fast", action="store_true",
                             help="shrunk sweep for a quick look")
+
+    trace = sub.add_parser(
+        "trace",
+        help="execute with the trace recorder on and export the timeline",
+    )
+    add_model_args(trace)
+    trace.add_argument("--iterations", type=int, default=1,
+                       help="iterations to record (default 1)")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write Chrome/Perfetto trace_event JSON here "
+                            "(load in chrome://tracing or ui.perfetto.dev)")
+    trace.add_argument("--text", action="store_true",
+                       help="also print the per-lane ASCII timeline")
+    trace.add_argument("--ring", type=int, default=None,
+                       help="bounded-memory mode: keep only the newest N "
+                            "events (accounting checks are skipped once "
+                            "events drop)")
+    trace.add_argument("--chaos-seed", type=int, default=None,
+                       help="additionally inject chaos faults from this "
+                            "seed, so the trace shows faults and recovery")
+    trace.add_argument("--intensity", type=float, default=1.0,
+                       help="chaos intensity when --chaos-seed is given")
 
     chaos = sub.add_parser(
         "chaos", help="execute under fault injection across a seed sweep"
@@ -174,9 +201,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rows = module.run(fast=args.fast)
         print(render(rows))
         return 0
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "chaos":
         return _chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Record one traced run and export/validate the timeline.
+
+    The recorded trace is validated against the runtime invariants
+    (stream FIFO/exclusivity, dependency order, byte and busy-time
+    reconciliation) before anything is written -- the exporter refuses to
+    ship a timeline the runtime itself contradicts.  Chaos runs keep the
+    structural checks only: restart-discarded attempts are on the trace
+    but not in the averaged metrics, by design.
+    """
+    from repro.trace import (
+        TraceRecorder,
+        check_trace,
+        dump_chrome_trace,
+        to_text_timeline,
+    )
+
+    harmony = _harmony(args)
+    plan = harmony.plan()
+    recorder = TraceRecorder(ring=args.ring)
+    fault_plan = None
+    if args.chaos_seed is not None:
+        from repro.faults import FaultPlan, FaultSpec
+
+        fault_plan = FaultPlan(FaultSpec.chaos(args.intensity),
+                               seed=args.chaos_seed)
+    report = harmony.run(plan=plan, iterations=args.iterations,
+                         fault_plan=fault_plan, trace=recorder)
+    fault_free = fault_plan is None
+    check_trace(
+        recorder.events,
+        graph=plan.graph if fault_free else None,
+        metrics=report.metrics if fault_free else None,
+        iterations=args.iterations,
+        dropped=recorder.dropped,
+    )
+    print(plan.describe())
+    print(report.metrics.describe())
+    if args.out:
+        dump_chrome_trace(recorder.events, args.out)
+        print(f"wrote {len(recorder.events)} events to {args.out} "
+              f"(trace_event JSON; load in ui.perfetto.dev)")
+    if args.text:
+        print(to_text_timeline(recorder.events))
+    return 0
 
 
 def _loss_victims(graph, n: int, seed: int) -> list[int]:

@@ -300,7 +300,8 @@ class Harmony:
             fault_plan: Optional[object] = None,
             recovery: Optional[object] = None,
             max_steps: Optional[int] = DEFAULT_MAX_STEPS,
-            horizon: Optional[float] = None) -> HarmonyReport:
+            horizon: Optional[float] = None,
+            trace: Optional[object] = None) -> HarmonyReport:
         """Execute training iterations on a fresh simulated server.
 
         ``iterations > 1`` runs back-to-back iterations (flush-separated,
@@ -315,6 +316,13 @@ class Harmony:
         stops making progress raises
         :class:`~repro.common.errors.SimulationError` naming the pending
         work instead of spinning forever.
+
+        ``trace`` (a :class:`repro.trace.TraceRecorder`) records the run
+        as a structured execution trace; the returned metrics carry the
+        derived timeline analytics (``metrics.trace``) and the recorder
+        holds the raw events for export.  Recording never consumes
+        virtual time: a traced run's schedule is bit-identical to an
+        untraced one.
         """
         plan = plan or self.plan()
         time_model = TrueTimeModel(
@@ -339,10 +347,13 @@ class Harmony:
                 max_steps=max_steps,
                 horizon=horizon,
                 replanner=ElasticReplanner(self) if elastic_on else None,
+                trace=trace,
             )
             metrics = runner.run(plan.graph, iterations=iterations)
+            self._attach_analytics(metrics, trace)
             return HarmonyReport(plan=plan, metrics=metrics)
         sim = Simulator()
+        sim.trace = trace
         live = SimulatedServer(sim, self.server)
         executor = Executor(
             live, time_model,
@@ -352,7 +363,21 @@ class Harmony:
             horizon=horizon,
         )
         metrics = executor.run(plan.graph, iterations=iterations)
+        self._attach_analytics(metrics, trace)
         return HarmonyReport(plan=plan, metrics=metrics)
+
+    def _attach_analytics(self, metrics: RunMetrics,
+                          trace: Optional[object]) -> None:
+        """Fold a recorder's derived timeline analytics into the metrics."""
+        if trace is None:
+            return
+        from repro.trace import analyze_trace
+
+        metrics.trace = analyze_trace(
+            trace.events, n_devices=self.server.n_gpus,  # type: ignore[attr-defined]
+            total_time=trace.extent,  # type: ignore[attr-defined]
+            dropped=trace.dropped,  # type: ignore[attr-defined]
+        )
 
     def _analyze(self, plan: HarmonyPlan, host_state: int) -> None:
         """Run the static schedule verifier per ``options.analyze``."""

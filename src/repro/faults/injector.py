@@ -49,6 +49,29 @@ class FaultInjector:
         self.injected: dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
         self._counted_slow: set[int] = set()
         self._counted_lost: set[int] = set()
+        #: live simulator, bound by :meth:`arm` / the executor; lets every
+        #: counted fault also land on the execution trace when one is on
+        self._sim = None
+
+    def attach_sim(self, sim) -> None:
+        """Bind the live simulator so counted faults hit its trace."""
+        self._sim = sim
+
+    def _record(self, kind: FaultKind, device: int = -1, tid: int = -1,
+                **meta) -> None:
+        """Mirror a counter increment as a ``fault`` trace instant.
+
+        Called exactly once per ``self.injected[...] += 1`` site, which is
+        what makes the trace's fault events and the recovery counters
+        equal by construction (the invariant the test harness asserts).
+        """
+        sim = self._sim
+        if sim is None:
+            return
+        trace = sim.trace
+        if trace is not None:
+            trace.instant("fault", kind.value, sim.now,
+                          device=device, tid=tid, **meta)
 
     @property
     def iteration(self) -> int:
@@ -72,6 +95,7 @@ class FaultInjector:
         and the host staging engine additionally see host-memory-pressure
         epochs (they are the hops that touch host DRAM).
         """
+        self._sim = server.sim
         if not self.enabled:
             return
         tree = server.tree
@@ -86,6 +110,8 @@ class FaultInjector:
         factor = self.plan.link_degradation(link.name, epoch, self.context)
         if factor < 1.0:
             self.injected[FaultKind.LINK_DEGRADE] += 1
+            self._record(FaultKind.LINK_DEGRADE, link=link.name,
+                         factor=factor)
         return factor
 
     def _pressure_factor(self, now: float) -> float:
@@ -93,6 +119,7 @@ class FaultInjector:
         factor = self.plan.host_pressure(epoch, self.context)
         if factor < 1.0:
             self.injected[FaultKind.HOST_PRESSURE] += 1
+            self._record(FaultKind.HOST_PRESSURE, factor=factor)
         return factor
 
     def _flap_only(self, link: Link):
@@ -115,6 +142,8 @@ class FaultInjector:
         if fraction is None:
             return None
         self.injected[FaultKind.TRANSFER] += 1
+        self._record(FaultKind.TRANSFER, device=device, label=label,
+                     stream=stream, attempt=attempt)
         return TransferFault(
             error=TransferFaultError(
                 f"injected transfer fault on {entity} "
@@ -131,6 +160,8 @@ class FaultInjector:
         if crash is None:
             return None
         self.injected[FaultKind.TASK_CRASH] += 1
+        self._record(FaultKind.TASK_CRASH, device=device, tid=tid,
+                     mb=mb_index, attempt=attempt)
         entity = task_ref(tid)
         return CrashFault(
             error=TaskCrashError(
@@ -147,6 +178,8 @@ class FaultInjector:
         if multiplier > 1.0 and device not in self._counted_slow:
             self._counted_slow.add(device)
             self.injected[FaultKind.GPU_SLOWDOWN] += 1
+            self._record(FaultKind.GPU_SLOWDOWN, device=device,
+                         multiplier=multiplier)
         return multiplier
 
     def degraded_gpus(self, n_devices: int) -> list[tuple[int, float, bool]]:
@@ -176,6 +209,7 @@ class FaultInjector:
         if device not in self._counted_lost:
             self._counted_lost.add(device)
             self.injected[FaultKind.GPU_LOSS] += 1
+            self._record(FaultKind.GPU_LOSS, device=device)
         entity = f"gpu{device}"
         return GpuLostError(
             f"injected permanent loss of {entity} "

@@ -140,6 +140,7 @@ class FaultTolerantRunner:
         horizon: Optional[float] = None,
         check_invariants: bool = True,
         replanner: Optional["ElasticReplanner"] = None,
+        trace=None,
     ):
         self.spec = spec
         self.time_model = time_model
@@ -153,6 +154,15 @@ class FaultTolerantRunner:
         #: elastic escalation target; None leaves only rebind-level rescue
         #: (anything with ``.replan(survivors) -> ElasticPlan`` works)
         self.replanner = replanner
+        #: optional :class:`~repro.trace.recorder.TraceRecorder`; attached
+        #: to every attempt's fresh simulator and advanced by each phase's
+        #: duration so all attempts/migrations form one global timeline
+        self.trace = trace
+
+    def _mark(self, cat: str, name: str, **meta) -> None:
+        """A run-level control instant at the current global trace time."""
+        if self.trace is not None:
+            self.trace.instant(cat, name, 0.0, lane="run", **meta)
 
     # -- re-bind planning ---------------------------------------------------------
 
@@ -192,6 +202,7 @@ class FaultTolerantRunner:
                  recovery: RecoveryMetrics) -> RunMetrics:
         injector = FaultInjector(self.plan, context=(iteration, attempt))
         sim = Simulator()
+        sim.trace = self.trace
         live = SimulatedServer(sim, self.spec)
         injector.arm(live)
         executor = Executor(
@@ -215,6 +226,11 @@ class FaultTolerantRunner:
                 recovery.accumulate(partial)
             recovery.faults_injected += injector.total_injected
             raise
+        finally:
+            # Success or not, the attempt's virtual time really elapsed;
+            # later phases continue the global timeline after it.
+            if self.trace is not None:
+                self.trace.advance(sim.now)
 
     # -- rescue (re-bind and elastic escalation) ----------------------------------
 
@@ -289,6 +305,9 @@ class FaultTolerantRunner:
                 current = rebind_graph(current, mapping,
                                        n_devices=self.spec.n_gpus)
                 recovery.rebinds += len(mapping)
+                for src, dst in sorted(mapping.items()):
+                    self._mark("rebind", f"gpu{src}->gpu{dst}",
+                               iteration=iteration)
                 used = {t.device for t in current.tasks}
         # Rung 2: elastic re-plan for whoever re-binding could not save.
         stranded_lost = sorted(dead & used)
@@ -318,7 +337,7 @@ class FaultTolerantRunner:
                 current, eplan.graph, eplan.plan.profiles, lost=dead,
             )
             report = MigrationExecutor(
-                self.spec, p2p=eplan.plan.options.p2p,
+                self.spec, p2p=eplan.plan.options.p2p, trace=self.trace,
             ).run(moves)
         except FaultError:
             raise
@@ -333,6 +352,8 @@ class FaultTolerantRunner:
             retired.add(device)
             monitor.forget(device)
         elastic.replans += 1
+        self._mark("replan", eplan.graph.mode, iteration=iteration,
+                   survivors=len(survivors))
         if eplan.mode_switched:
             elastic.mode_switches += 1
         elastic.migrations += report.n_moves
@@ -347,6 +368,7 @@ class FaultTolerantRunner:
             # Zero-overhead path: no injector, no recovery machinery --
             # bit-identical to a plain executor run.
             sim = Simulator()
+            sim.trace = self.trace
             live = SimulatedServer(sim, self.spec)
             executor = Executor(
                 live, self.time_model,
@@ -355,7 +377,10 @@ class FaultTolerantRunner:
                 max_steps=self.max_steps,
                 horizon=self.horizon,
             )
-            return executor.run(graph, iterations=iterations)
+            metrics = executor.run(graph, iterations=iterations)
+            if self.trace is not None:
+                self.trace.advance(sim.now)
+            return metrics
 
         recovery = RecoveryMetrics()
         elastic = ElasticMetrics()
@@ -393,6 +418,8 @@ class FaultTolerantRunner:
                             entity=getattr(exc, "entity", ""),
                         ) from exc
                     recovery.restarts += 1
+                    self._mark("restart", f"iteration{iteration}",
+                               attempt=attempt, cause=type(exc).__name__)
                     rescue(iteration, attempt + 1)
                     continue
                 break

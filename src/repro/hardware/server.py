@@ -81,7 +81,9 @@ class SimulatedServer:
         self.sim = sim
         self.spec = spec
         self.tree = PcieTree(sim, spec.topology)
-        self.streams = [StreamSet(sim, f"gpu{g}") for g in range(spec.n_gpus)]
+        self.streams = [
+            StreamSet(sim, f"gpu{g}", device=g) for g in range(spec.n_gpus)
+        ]
         self.gpu_memory = [
             GpuMemoryPool(capacity=spec.gpu.memory_bytes) for _ in range(spec.n_gpus)
         ]

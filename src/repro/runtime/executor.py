@@ -33,7 +33,7 @@ bit-identical to the pre-fault runtime.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 from repro.analysis.diagnostics import stream_ref, task_ref
 from repro.common.errors import (
@@ -115,6 +115,8 @@ class Executor:
         self.prefetch = prefetch
         self.host_state_bytes = host_state_bytes
         self.faults = faults if (faults is not None and faults.enabled) else None
+        if self.faults is not None:
+            self.faults.attach_sim(self.sim)
         if self.faults is not None and recovery is None:
             from repro.faults.policy import RecoveryPolicy as _Policy
 
@@ -182,6 +184,8 @@ class Executor:
                 g.p2p_in_bytes //= iterations
                 g.compute_busy /= iterations
                 g.cpu_busy /= iterations
+                g.swap_busy /= iterations
+                g.p2p_busy /= iterations
         if self.faults is not None:
             self.recovery.faults_injected += self.faults.total_injected
         run = RunMetrics(
@@ -274,22 +278,46 @@ class Executor:
         )
 
     @staticmethod
-    def _chain(source: SimEvent, target: SimEvent) -> None:
+    def _chain(source: SimEvent, target: SimEvent,
+               notify: Optional[Callable[[], None]] = None) -> None:
         """Fire ``target`` when ``source`` fires, propagating failure.
 
         A bare ``add_callback(lambda _v: target.succeed())`` would mask a
         failed source (the callback receives the exception as its value),
         silently completing work that actually died -- exactly the hang-
         or-lie failure mode the fault machinery must never produce.
+
+        ``notify`` (trace hooks) runs just before the success relay; it
+        rides the relay callback that exists anyway, so attaching it never
+        changes which events have waiters (and therefore never converts an
+        unhandled failure into a handled one).
         """
 
         def relay(_value: object) -> None:
             if source.failed:
                 target.fail(source.exception)
             else:
+                if notify is not None:
+                    notify()
                 target.succeed()
 
         source.add_callback(relay)
+
+    def _task_tick(self, device: int, tid: int, name: str) -> Optional[
+            Callable[[], None]]:
+        """A ``task``-lifecycle instant emitter, or None when untraced.
+
+        Resolved lazily (at fire time) so a recorder attached after
+        executor construction still sees the ticks.
+        """
+
+        def tick() -> None:
+            trace = self.sim.trace
+            if trace is not None:
+                trace.instant("task", name, self.sim.now,
+                              device=device, lane="compute", tid=tid)
+
+        return tick
 
     # -- per-device driver ---------------------------------------------------------
 
@@ -330,25 +358,48 @@ class Executor:
         and retry, and a fault on the last permitted attempt propagates as
         :class:`TransferFaultError` for the caller (p2p fallback, or the
         simulator's failure machinery) to handle.
+
+        The occupied wall time (queueing plus hold, success or not) is
+        accounted per device as ``swap_busy`` / ``p2p_busy`` so overlap
+        analytics have an aggregate to reconcile against.
         """
-        if self.faults is None:
-            yield from transfer(self.sim, path, nbytes)
-            return
-        attempt = 0
-        while True:
-            fault = self.faults.transfer_fault(device, stream, label, attempt)
-            try:
-                yield from transfer(self.sim, path, nbytes, fault=fault)
+        start = self.sim.now
+        try:
+            if self.faults is None:
+                yield from transfer(self.sim, path, nbytes, label=label,
+                                    device=device, lane=stream)
                 return
-            except TransferFaultError:
-                assert self.policy is not None
-                if attempt >= self.policy.max_transfer_retries:
-                    raise
-                self.recovery.transfer_retries += 1
-                backoff = self.policy.backoff(attempt)
-                if backoff > 0:
-                    yield self.sim.timeout(backoff)
-                attempt += 1
+            attempt = 0
+            while True:
+                fault = self.faults.transfer_fault(
+                    device, stream, label, attempt
+                )
+                try:
+                    yield from transfer(self.sim, path, nbytes, fault=fault,
+                                        label=label, device=device,
+                                        lane=stream)
+                    return
+                except TransferFaultError:
+                    assert self.policy is not None
+                    if attempt >= self.policy.max_transfer_retries:
+                        raise
+                    self.recovery.transfer_retries += 1
+                    trace = self.sim.trace
+                    if trace is not None:
+                        trace.instant("retry", "transfer", self.sim.now,
+                                      device=device, lane=stream, label=label,
+                                      attempt=attempt)
+                    backoff = self.policy.backoff(attempt)
+                    if backoff > 0:
+                        yield self.sim.timeout(backoff)
+                    attempt += 1
+        finally:
+            held = self.sim.now - start
+            busy = self.metrics[device]
+            if stream.startswith("p2p"):
+                busy.p2p_busy += held
+            else:
+                busy.swap_busy += held
 
     def _host_staged_paths(self, src_device: int,
                            dst_device: int) -> tuple[list[Link], list[Link]]:
@@ -445,6 +496,11 @@ class Executor:
         self.metrics[device].swap_in_bytes += nbytes
         self.recovery.p2p_fallbacks += 1
         self.recovery.fallback_bytes += nbytes
+        trace = self.sim.trace
+        if trace is not None:
+            trace.instant("fallback", "p2p", self.sim.now, device=device,
+                          lane="swap_in", label=label, nbytes=nbytes,
+                          src=src_device)
 
     def _submit_fetch(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
@@ -514,14 +570,29 @@ class Executor:
             start = self.sim.now
             yield self.sim.timeout(duration * crash.fraction)
             self.metrics[device].compute_busy += self.sim.now - start
+            trace = self.sim.trace
+            if trace is not None:
+                trace.span("compute", f"{task.label}#{index}", start,
+                           self.sim.now, device=device, lane="compute",
+                           tid=task.tid, mb=index, attempt=attempt,
+                           crashed=1)
             assert self.policy is not None
             if attempt >= self.policy.max_task_retries:
                 raise crash.error
             self.recovery.compute_retries += 1
+            if trace is not None:
+                trace.instant("retry", "compute", self.sim.now,
+                              device=device, lane="compute", tid=task.tid,
+                              mb=index, attempt=attempt)
             attempt += 1
         start = self.sim.now
         yield self.sim.timeout(duration)
         self.metrics[device].compute_busy += self.sim.now - start
+        trace = self.sim.trace
+        if trace is not None:
+            trace.span("compute", f"{task.label}#{index}", start,
+                       self.sim.now, device=device, lane="compute",
+                       tid=task.tid, mb=index, attempt=attempt)
 
     def _submit_compute(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
@@ -542,11 +613,16 @@ class Executor:
                     raise lost
                 duration *= self.faults.compute_multiplier(device)
             yield from self._compute_attempt(device, rt, index, duration)
+            trace = self.sim.trace
+            if trace is not None:
+                trace.instant("task", f"mb{index}", self.sim.now,
+                              device=device, lane="compute", tid=task.tid)
             rt.mb_done[index].succeed()
 
         for i, u in enumerate(task.microbatches):
             streams.compute.submit(mb_op(i, u), label=f"{task.label}#{i}")
-        self._chain(self.sim.all_of(rt.mb_done), rt.done)
+        self._chain(self.sim.all_of(rt.mb_done), rt.done,
+                    notify=self._task_tick(device, task.tid, "done"))
 
     def _submit_update(self, device: int, rt: _TaskRuntime) -> None:
         task = rt.task
@@ -569,6 +645,17 @@ class Executor:
                 self.metrics[device].cpu_busy += self.sim.now - start
             else:
                 self.metrics[device].compute_busy += self.sim.now - start
+            trace = self.sim.trace
+            if trace is not None:
+                lane = "cpu" if task.on_cpu else "compute"
+                trace.span("compute", task.label, start, self.sim.now,
+                           device=device, lane=lane, tid=task.tid,
+                           mb=0, attempt=0)
+                for i in range(len(rt.mb_done)):
+                    trace.instant("task", f"mb{i}", self.sim.now,
+                                  device=device, lane=lane, tid=task.tid)
+                trace.instant("task", "done", self.sim.now,
+                              device=device, lane=lane, tid=task.tid)
             for event in rt.mb_done:
                 event.succeed()
             rt.done.succeed()
@@ -613,7 +700,8 @@ class Executor:
                         label=f"{move.label}#{i}",
                     ))
         gate = self.sim.all_of(events + [rt.done])
-        self._chain(gate, rt.outs_flushed)
+        self._chain(gate, rt.outs_flushed,
+                    notify=self._task_tick(device, task.tid, "flushed"))
 
 
 def run_task_graph(

@@ -10,6 +10,10 @@ re-binds, restarts) through :class:`RecoveryMetrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.trace.analytics import TraceAnalytics
 
 
 @dataclass
@@ -21,6 +25,10 @@ class GpuMetrics:
     p2p_in_bytes: int = 0
     compute_busy: float = 0.0
     cpu_busy: float = 0.0
+    #: wall time the swap engine was occupied (queueing + link holds)
+    swap_busy: float = 0.0
+    #: wall time the p2p engine was occupied (queueing + link holds)
+    p2p_busy: float = 0.0
     peak_resident_bytes: int = 0
 
     @property
@@ -34,6 +42,8 @@ class GpuMetrics:
         self.p2p_in_bytes += other.p2p_in_bytes
         self.compute_busy += other.compute_busy
         self.cpu_busy += other.cpu_busy
+        self.swap_busy += other.swap_busy
+        self.p2p_busy += other.p2p_busy
         self.peak_resident_bytes = max(
             self.peak_resident_bytes, other.peak_resident_bytes
         )
@@ -162,6 +172,11 @@ class RunMetrics:
     host_peak_bytes: int = 0
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
     elastic: ElasticMetrics = field(default_factory=ElasticMetrics)
+    #: Derived timeline analytics, present when the run was traced
+    #: (:mod:`repro.trace`).  When set, the fraction accessors below use
+    #: exact interval arithmetic over the trace instead of aggregate
+    #: counters.
+    trace: Optional["TraceAnalytics"] = None
 
     @property
     def throughput(self) -> float:
@@ -182,14 +197,40 @@ class RunMetrics:
     def idle_fraction(self, gpu: int) -> float:
         """Fraction of the iteration ``gpu`` spent idle.
 
+        With trace analytics attached this is exact (the complement of
+        the measure of the union of the device's compute spans over the
+        traced window); otherwise it falls back to the aggregate busy
+        counter, which agrees on any run where attempts never overlap --
+        i.e. always, since the compute lane is serial; the trace test
+        suite asserts the two paths coincide on fault-free runs.
+
         0.0 on a degenerate run (no virtual time elapsed): an idle
         fraction of an instantaneous run is meaningless, and callers
         plotting it want a finite number, not a ZeroDivisionError.
         """
+        if self.trace is not None and gpu < self.trace.n_devices:
+            return self.trace.idle_fraction(gpu)
         if self.iteration_time <= 0:
             return 0.0
         busy = self.gpus[gpu].compute_busy
         return max(0.0, 1.0 - busy / self.iteration_time)
+
+    def overlap_fraction(self, gpu: int) -> float:
+        """Fraction of ``gpu``'s swap/p2p engine time hidden under compute.
+
+        This is the number Harmony's double-buffered prefetch exists to
+        maximize.  Exact (measure of compute spans intersect swap holds,
+        over the swap hold time) when trace analytics are attached;
+        without a trace only an upper bound is computable from
+        aggregates -- ``min(compute_busy, swap_busy) / swap_busy`` --
+        and that bound is returned.
+        """
+        if self.trace is not None and gpu < self.trace.n_devices:
+            return self.trace.overlap_fraction(gpu)
+        g = self.gpus[gpu]
+        if g.swap_busy <= 0:
+            return 0.0
+        return min(g.compute_busy, g.swap_busy) / g.swap_busy
 
     def describe(self) -> str:
         lines = [
@@ -208,4 +249,8 @@ class RunMetrics:
             lines.append(f"  {self.recovery.describe()}")
         if self.elastic.any:
             lines.append(f"  {self.elastic.describe()}")
+        if self.trace is not None:
+            lines.extend(
+                "  " + line for line in self.trace.describe().splitlines()
+            )
         return "\n".join(lines)

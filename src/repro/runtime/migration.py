@@ -52,41 +52,64 @@ class MigrationReport:
 
 
 class MigrationExecutor:
-    """Run a migration move list on a fresh simulated server."""
+    """Run a migration move list on a fresh simulated server.
 
-    def __init__(self, spec: ServerSpec, p2p: bool = True):
+    ``trace`` (a :class:`~repro.trace.recorder.TraceRecorder`) attaches to
+    the phase's private simulator; every move lands as one ``migration``
+    span (its transfer legs as ``xfer`` spans on the ``migration`` lane,
+    so they never pollute training swap/p2p accounting) and the phase
+    advances the recorder's global timeline by its makespan.
+    """
+
+    def __init__(self, spec: ServerSpec, p2p: bool = True, trace=None):
         self.spec = spec
         self.p2p = p2p
+        self.trace = trace
 
     def _move_op(self, live: SimulatedServer, sim: Simulator,
                  move: MigrationMove,
                  report: MigrationReport) -> Generator:
         tree = live.tree
-        if move.src is None and move.dst is None:
+        start = sim.now
+        device = move.dst if move.dst is not None else move.src
+        if device is None:
             raise SimulationError(
                 f"host->host migration move should have been elided: {move}"
             )
         if move.src is None:
             # Checkpoint restore: host -> surviving GPU.
-            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes)
+            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes,
+                                label=move.label, device=device,
+                                lane="migration")
             report.host_bytes += move.nbytes
         elif move.dst is None:
             # State spill: GPU -> host (pageable, so staging throttles).
             path = tree.gpu_to_host(move.src) + [live.pageable_staging]
-            yield from transfer(sim, path, move.nbytes)
+            yield from transfer(sim, path, move.nbytes, label=move.label,
+                                device=device, lane="migration")
             report.host_bytes += move.nbytes
         elif self.p2p:
             yield from transfer(
-                sim, tree.gpu_to_gpu(move.src, move.dst), move.nbytes
+                sim, tree.gpu_to_gpu(move.src, move.dst), move.nbytes,
+                label=move.label, device=device, lane="migration",
             )
             report.p2p_bytes += move.nbytes
         else:
             # No p2p allowed: host-staged relay, both legs real traffic.
             up = tree.gpu_to_host(move.src) + [live.pageable_staging]
-            yield from transfer(sim, up, move.nbytes)
+            yield from transfer(sim, up, move.nbytes, label=move.label,
+                                device=device, lane="migration")
             report.host_bytes += move.nbytes
-            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes)
+            yield from transfer(sim, tree.host_to_gpu(move.dst), move.nbytes,
+                                label=f"{move.label}^", device=device,
+                                lane="migration")
             report.host_bytes += move.nbytes
+        trace = sim.trace
+        if trace is not None:
+            trace.span("migration", move.label, start, sim.now,
+                       device=device, lane="migration", nbytes=move.nbytes,
+                       src=-1 if move.src is None else move.src,
+                       dst=-1 if move.dst is None else move.dst)
 
     def run(self, moves: Iterable[MigrationMove],
             max_steps: Optional[int] = MIGRATION_MAX_STEPS) -> MigrationReport:
@@ -96,6 +119,7 @@ class MigrationExecutor:
         if not todo:
             return report
         sim = Simulator()
+        sim.trace = self.trace
         live = SimulatedServer(sim, self.spec)
         for i, move in enumerate(todo):
             sim.process(
@@ -105,4 +129,6 @@ class MigrationExecutor:
         sim.run(max_steps=max_steps)
         report.time = sim.now
         report.n_moves = len(todo)
+        if self.trace is not None:
+            self.trace.advance(sim.now)
         return report

@@ -278,6 +278,13 @@ class Simulator:
         self._steps = 0
         self._unhandled: list[tuple[SimEvent, BaseException]] = []
         self._processes: list[Process] = []
+        #: Optional execution-trace recorder (duck-typed
+        #: :class:`repro.trace.recorder.TraceRecorder`).  Traced layers
+        #: guard every recording on ``sim.trace is not None``, so the
+        #: default costs one attribute read and the simulation schedule
+        #: is bit-identical with tracing on or off -- recording never
+        #: consumes virtual time.
+        self.trace: Optional[Any] = None
 
     @property
     def now(self) -> float:

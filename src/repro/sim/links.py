@@ -94,6 +94,9 @@ def transfer(
     path: Sequence[Link],
     nbytes: int,
     fault: Optional[TransferFault] = None,
+    label: str = "",
+    device: int = -1,
+    lane: str = "",
 ) -> Generator:
     """Generator op that moves ``nbytes`` over ``path``.
 
@@ -106,20 +109,35 @@ def transfer(
     duration, released, and ``fault.error`` is raised; the aborted bytes
     are **not** counted in ``bytes_moved`` (goodput accounting) though the
     wasted hold time is counted in ``busy_time`` (it was real contention).
+
+    ``label`` / ``device`` / ``lane`` attribute the hold on the execution
+    trace when a recorder is attached (``sim.trace``): one ``xfer`` span
+    per call, from path acquisition to release, carrying the hop names,
+    the queueing delay (``wait``), and the bytes that actually moved
+    (0 for a faulted hold -- the bus time was real, the goodput was not).
     """
     if nbytes < 0:
         raise SimulationError(f"negative transfer size: {nbytes}")
     if not path:
         if fault is not None:
             raise fault.error
+        if nbytes > 0 and sim.trace is not None:
+            # Zero-hop route (e.g. co-located endpoints): instantaneous,
+            # but the bytes still moved -- record them so trace totals
+            # reconcile with the byte counters.
+            sim.trace.span("xfer", label, sim.now, sim.now, device=device,
+                           lane=lane, nbytes=nbytes, links="", wait=0.0)
         return
     if nbytes == 0:
         if fault is not None:
             raise fault.error
         return
+    trace = sim.trace
+    requested = sim.now
     ordered = sorted(path, key=lambda link: link.link_id)
     for link in ordered:
         yield link._resource.request()
+    acquired = sim.now
     duration = nbytes / min(
         link.effective_bandwidth(sim.now) for link in path
     )
@@ -130,12 +148,26 @@ def transfer(
         for link in ordered:
             link.busy_time += held
             link._resource.release()
+        if trace is not None:
+            trace.span(
+                "xfer", label, acquired, sim.now,
+                device=device, lane=lane, nbytes=0,
+                links="+".join(link.name for link in ordered),
+                wait=acquired - requested, faulted=1,
+            )
         raise fault.error
     yield sim.timeout(duration)
     for link in ordered:
         link.bytes_moved += nbytes
         link.busy_time += duration
         link._resource.release()
+    if trace is not None:
+        trace.span(
+            "xfer", label, acquired, sim.now,
+            device=device, lane=lane, nbytes=nbytes,
+            links="+".join(link.name for link in ordered),
+            wait=acquired - requested,
+        )
 
 
 def path_time(path: Iterable[Link], nbytes: int) -> float:

@@ -29,10 +29,14 @@ class Stream:
     other streams, giving CUDA-like cross-stream synchronization.
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Simulator, name: str, device: int = -1):
         self.sim = sim
         self.name = name
-        self._queue: deque[tuple[Generator, SimEvent]] = deque()
+        #: Owning GPU index for trace attribution (-1: not device-bound).
+        self.device = device
+        #: Trace lane: the short stream name ("compute", "swap_in", ...).
+        self.lane = name.rsplit(".", 1)[-1]
+        self._queue: deque[tuple[Generator, SimEvent, str]] = deque()
         self._running = False
         self.busy_time = 0.0
         self._ops_done = 0
@@ -49,7 +53,7 @@ class Stream:
     def submit(self, op: Generator, label: str = "") -> SimEvent:
         """Enqueue ``op`` (a generator body) and return its completion event."""
         done = SimEvent(self.sim, name=f"{self.name}:{label}" if label else "")
-        self._queue.append((op, done))
+        self._queue.append((op, done, label))
         if not self._running:
             self._running = True
             self.sim.process(self._drain(), name=f"stream:{self.name}")
@@ -89,16 +93,24 @@ class Stream:
 
     def _drain(self) -> Generator:
         while self._queue:
-            op, done = self._queue.popleft()
+            op, done, label = self._queue.popleft()
+            trace = self.sim.trace
+            start = self.sim.now
             try:
                 result = yield self.sim.process(op, name=f"{self.name}:op")
             except Exception as exc:
                 # The op failed; fail its completion event so dependents
                 # observe the typed error, and keep serving the queue.
                 self._ops_failed += 1
+                if trace is not None:
+                    trace.span("stream", label, start, self.sim.now,
+                               device=self.device, lane=self.lane, ok=0)
                 done.fail(exc)
                 continue
             self._ops_done += 1
+            if trace is not None:
+                trace.span("stream", label, start, self.sim.now,
+                           device=self.device, lane=self.lane, ok=1)
             done.succeed(result)
         self._running = False
 
@@ -108,12 +120,12 @@ class StreamSet:
 
     NAMES = ("compute", "swap_in", "swap_out", "p2p_in", "p2p_out")
 
-    def __init__(self, sim: Simulator, owner: str):
-        self.compute = Stream(sim, f"{owner}.compute")
-        self.swap_in = Stream(sim, f"{owner}.swap_in")
-        self.swap_out = Stream(sim, f"{owner}.swap_out")
-        self.p2p_in = Stream(sim, f"{owner}.p2p_in")
-        self.p2p_out = Stream(sim, f"{owner}.p2p_out")
+    def __init__(self, sim: Simulator, owner: str, device: int = -1):
+        self.compute = Stream(sim, f"{owner}.compute", device=device)
+        self.swap_in = Stream(sim, f"{owner}.swap_in", device=device)
+        self.swap_out = Stream(sim, f"{owner}.swap_out", device=device)
+        self.p2p_in = Stream(sim, f"{owner}.p2p_in", device=device)
+        self.p2p_out = Stream(sim, f"{owner}.p2p_out", device=device)
 
     def all(self) -> tuple[Stream, ...]:
         return (self.compute, self.swap_in, self.swap_out, self.p2p_in, self.p2p_out)

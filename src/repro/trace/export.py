@@ -1,0 +1,139 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and plain text.
+
+The JSON format is the Trace Event Format that chrome://tracing and
+https://ui.perfetto.dev load directly: a ``traceEvents`` list of complete
+(``ph: "X"``) and instant (``ph: "i"``) events with microsecond
+timestamps, plus ``M``-phase metadata naming processes (devices) and
+threads (lanes).  Devices map to pids (``gpu<d>`` -> ``d + 1``; host and
+run-level events -> pid 0), lanes to tids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Sequence, Union
+
+from repro.trace.events import LANES, TraceEvent
+
+#: 1 virtual second -> microseconds (the trace_event time unit).
+_US = 1e6
+
+
+def _pid(event: TraceEvent) -> int:
+    return event.device + 1 if event.device >= 0 else 0
+
+
+def _lane_key(event: TraceEvent) -> tuple:
+    return (_pid(event), event.lane or event.cat)
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """Build the trace_event JSON document (as a dict)."""
+    lanes = sorted(
+        {_lane_key(e) for e in events},
+        key=lambda key: (
+            key[0],
+            LANES.index(key[1]) if key[1] in LANES else len(LANES),
+            key[1],
+        ),
+    )
+    tids = {key: i + 1 for i, key in enumerate(lanes)}
+    out = []
+    pids = sorted({pid for pid, _lane in lanes})
+    for pid in pids:
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": "host" if pid == 0 else f"gpu{pid - 1}"},
+        })
+    for (pid, lane), tid in tids.items():
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": lane},
+        })
+    for e in events:
+        args = {k: v for k, v in e.meta}
+        if e.tid >= 0:
+            args["task"] = e.tid
+        if e.nbytes:
+            args["nbytes"] = e.nbytes
+        record = {
+            "name": e.name or e.cat,
+            "cat": e.cat,
+            "pid": _pid(e),
+            "tid": tids[_lane_key(e)],
+            "ts": e.t0 * _US,
+            "args": args,
+        }
+        if e.kind == "span":
+            record["ph"] = "X"
+            record["dur"] = max(0.0, e.duration) * _US
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        out.append(record)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(events: Sequence[TraceEvent],
+                      fp: Union[str, IO]) -> None:
+    """Write the Chrome-trace JSON to a path or file object."""
+    doc = to_chrome_trace(events)
+    if isinstance(fp, (str, os.PathLike)):
+        with open(fp, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    else:
+        json.dump(doc, fp, indent=1)
+
+
+def to_text_timeline(events: Sequence[TraceEvent], width: int = 56) -> str:
+    """A per-lane ASCII timeline (the poor man's Perfetto).
+
+    One row per (device, lane) track: a bar over the trace extent where
+    ``#`` marks busy span time and ``.`` idle, followed by the busy
+    fraction and op count.  Instant control events are listed below.
+    """
+    extent = max((e.t1 for e in events), default=0.0)
+    if extent <= 0:
+        return "(empty trace)"
+    rows: dict = {}
+    counts: dict = {}
+    for e in events:
+        if e.kind != "span" or e.cat == "stream":
+            # The stream-queue view nests every other span; the busy view
+            # (xfer/compute/migration) is what the bars should show.
+            continue
+        key = (_pid(e), e.lane or e.cat)
+        rows.setdefault(key, [False] * width)
+        counts[key] = counts.get(key, 0) + 1
+        lo = int(e.t0 / extent * width)
+        hi = max(lo + 1, int(e.t1 / extent * width + 0.999))
+        for i in range(lo, min(hi, width)):
+            rows[key][i] = True
+    lines = [f"timeline over {extent:.3f}s ('#' = busy):"]
+    for (pid, lane), cells in sorted(
+        rows.items(),
+        key=lambda item: (
+            item[0][0],
+            LANES.index(item[0][1]) if item[0][1] in LANES else len(LANES),
+            item[0][1],
+        ),
+    ):
+        owner = "host" if pid == 0 else f"gpu{pid - 1}"
+        bar = "".join("#" if cell else "." for cell in cells)
+        busy = sum(cells) / width
+        lines.append(
+            f"  {owner + '.' + lane:<16} |{bar}| "
+            f"{busy * 100:3.0f}% busy, {counts[(pid, lane)]} spans"
+        )
+    control = [
+        e for e in events
+        if e.kind == "instant" and e.cat in ("fault", "rebind", "replan",
+                                             "restart", "fallback")
+    ]
+    for e in control[:12]:
+        lines.append(f"  @{e.t0:.3f}s {e.cat}: {e.name}")
+    if len(control) > 12:
+        lines.append(f"  ... +{len(control) - 12} more control events")
+    return "\n".join(lines)

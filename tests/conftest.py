@@ -12,11 +12,12 @@ from repro.hardware.server import ServerSpec
 from repro.models.transformer import tiny_transformer
 from repro.runtime.executor import Executor
 from repro.sim.engine import Simulator
+from repro.trace import TraceRecorder, check_trace
 
 
 @pytest.fixture(autouse=True)
 def _verify_executed_graphs(request, monkeypatch):
-    """Statically verify every task graph the suite executes.
+    """Statically and dynamically verify every graph the suite executes.
 
     Any schedule handed to ``Executor.run`` anywhere in the test suite
     must first pass the analyzer's structural passes (structure, deadlock,
@@ -24,15 +25,37 @@ def _verify_executed_graphs(request, monkeypatch):
     context a blanket hook cannot reconstruct faithfully -- dedicated
     tests cover those.  Tests that deliberately execute broken graphs opt
     out with ``@pytest.mark.no_graph_analysis``.
+
+    Additionally, every run is executed with a trace recorder attached
+    (unless the test brought its own) and the recorded timeline is held
+    to the runtime invariants (:func:`repro.trace.check_trace`): stream
+    FIFO/exclusivity, dependency order, byte and busy-time reconciliation,
+    and fault-event completeness.  Opt out with
+    ``@pytest.mark.no_trace_invariants``.
     """
-    if request.node.get_closest_marker("no_graph_analysis"):
+    check_graphs = not request.node.get_closest_marker("no_graph_analysis")
+    check_traces = not request.node.get_closest_marker("no_trace_invariants")
+    if not check_graphs and not check_traces:
         yield
         return
     original = Executor.run
 
-    def run(self, graph, *args, **kwargs):
-        verify_graph(graph)
-        return original(self, graph, *args, **kwargs)
+    def run(self, graph, iterations=1, **kwargs):
+        if check_graphs:
+            verify_graph(graph)
+        recorder = None
+        if check_traces and self.sim.trace is None:
+            recorder = TraceRecorder()
+            self.sim.trace = recorder
+        try:
+            metrics = original(self, graph, iterations, **kwargs)
+        finally:
+            if recorder is not None:
+                self.sim.trace = None
+        if recorder is not None:
+            check_trace(recorder.events, graph=graph, metrics=metrics,
+                        iterations=iterations, dropped=recorder.dropped)
+        return metrics
 
     monkeypatch.setattr(Executor, "run", run)
     yield

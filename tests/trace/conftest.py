@@ -1,0 +1,79 @@
+"""Fixtures for the execution-trace test suite.
+
+Small end-to-end traced runs (zoo models on a 2-GPU commodity server)
+plus a Chrome ``trace_event`` schema validator shared by the export and
+CLI tests.
+"""
+
+import pytest
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+from repro.trace import TraceRecorder
+
+#: The two small zoo models the golden/property suites sweep.
+SMALL_MODELS = ("toy-transformer", "tiny-cnn")
+MODES = ("pp", "dp")
+
+
+def traced_run(model, mode, iterations=1, gpus=2, minibatch=8,
+               fault_plan=None, recorder=None):
+    """Plan + execute one traced run; returns (plan, metrics, recorder)."""
+    harmony = Harmony(
+        model, server_for(gpus), minibatch,
+        options=HarmonyOptions(mode=mode),
+    )
+    recorder = recorder if recorder is not None else TraceRecorder()
+    report = harmony.run(iterations=iterations, fault_plan=fault_plan,
+                         trace=recorder)
+    return harmony.plan(), report.metrics, recorder
+
+
+@pytest.fixture(scope="session")
+def toy_traced():
+    """One fault-free traced run of the toy transformer (PP, 2 GPUs)."""
+    return traced_run("toy-transformer", "pp")
+
+
+def validate_chrome_trace(doc):
+    """Assert ``doc`` is a well-formed Chrome/Perfetto trace_event JSON.
+
+    Checks the subset of the Trace Event Format the Perfetto importer
+    requires: a ``traceEvents`` list whose records carry a known phase,
+    integer pid/tid, numeric non-negative timestamps, non-negative
+    durations for complete events, a scope for instants, and process /
+    thread metadata naming every (pid, tid) the events reference.
+    """
+    assert isinstance(doc, dict)
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    named_pids, named_tids, used = set(), set(), set()
+    for record in events:
+        ph = record["ph"]
+        assert ph in ("X", "i", "M"), f"unknown phase {ph!r}"
+        assert isinstance(record["pid"], int) and record["pid"] >= 0
+        assert isinstance(record["tid"], int) and record["tid"] >= 0
+        if ph == "M":
+            assert record["name"] in ("process_name", "thread_name")
+            assert record["args"]["name"]
+            if record["name"] == "process_name":
+                named_pids.add(record["pid"])
+            else:
+                named_tids.add((record["pid"], record["tid"]))
+            continue
+        assert isinstance(record["name"], str) and record["name"]
+        assert isinstance(record["cat"], str) and record["cat"]
+        assert isinstance(record["ts"], (int, float)) and record["ts"] >= 0
+        used.add((record["pid"], record["tid"]))
+        if ph == "X":
+            assert isinstance(record["dur"], (int, float))
+            assert record["dur"] >= 0
+        else:
+            assert record["s"] == "t"
+    assert {pid for pid, _tid in used} <= named_pids
+    assert used <= named_tids
+
+
+@pytest.fixture
+def chrome_validator():
+    return validate_chrome_trace

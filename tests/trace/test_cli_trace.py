@@ -1,0 +1,49 @@
+"""End-to-end tests for the ``repro trace`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["trace", "toy-transformer", "--minibatch", "8", "--gpus", "2",
+        "--mode", "pp"]
+
+
+@pytest.mark.no_trace_invariants  # the CLI attaches its own recorder
+def test_trace_writes_perfetto_json(tmp_path, capsys, chrome_validator):
+    out = tmp_path / "trace.json"
+    rc = main(ARGS + ["--out", str(out), "--text"])
+    assert rc == 0
+    chrome_validator(json.loads(out.read_text()))
+    printed = capsys.readouterr().out
+    assert "trace:" in printed          # analytics summary
+    assert "timeline over" in printed   # --text ASCII timeline
+    assert str(out) in printed          # says where the JSON went
+
+
+@pytest.mark.no_trace_invariants
+def test_trace_ring_mode_bounds_events(tmp_path, chrome_validator):
+    out = tmp_path / "ring.json"
+    rc = main(ARGS + ["--out", str(out), "--ring", "32"])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    chrome_validator(doc)
+    payload = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+    assert len(payload) == 32  # the fault-free toy run records > 32 events
+
+
+@pytest.mark.no_trace_invariants
+def test_trace_chaos_records_faults(tmp_path, capsys, chrome_validator):
+    out = tmp_path / "chaos.json"
+    rc = main(ARGS + ["--out", str(out), "--chaos-seed", "1",
+                      "--intensity", "2.0"])
+    assert rc == 0
+    chrome_validator(json.loads(out.read_text()))
+
+
+@pytest.mark.no_trace_invariants
+def test_trace_without_out_still_reports(capsys):
+    rc = main(ARGS)
+    assert rc == 0
+    assert "trace:" in capsys.readouterr().out

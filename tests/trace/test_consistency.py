@@ -1,0 +1,97 @@
+"""Metrics/trace consistency and the zero-overhead guarantee.
+
+Two contracts pin the tracing subsystem to the runtime it observes:
+
+1. On a fault-free run, the exact (interval-arithmetic) fractions the
+   trace analytics derive agree with the aggregate-counter fallbacks
+   ``RunMetrics`` computes without a trace -- same question, two
+   independent measurement paths.
+2. Attaching a recorder never perturbs the simulation: a traced run's
+   schedule and counters are bit-identical to an untraced one, clean or
+   under chaos.
+"""
+
+import pytest
+
+from conftest import MODES, SMALL_MODELS, traced_run
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+from repro.faults import FaultPlan, FaultSpec
+from repro.trace import check_trace
+
+
+@pytest.mark.parametrize("model", SMALL_MODELS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("iterations", [1, 2])
+def test_trace_and_aggregate_fractions_agree(model, mode, iterations):
+    _plan, metrics, _recorder = traced_run(model, mode,
+                                           iterations=iterations)
+    analytics = metrics.trace
+    assert analytics is not None
+    for gpu in range(len(metrics.gpus)):
+        exact = metrics.idle_fraction(gpu)  # trace path
+        assert exact == analytics.idle_fraction(gpu)
+        aggregate = max(
+            0.0, 1.0 - metrics.gpus[gpu].compute_busy / metrics.iteration_time
+        )
+        assert exact == pytest.approx(aggregate, abs=1e-9)
+        # The aggregate overlap bound must dominate the exact overlap.
+        overlap = metrics.overlap_fraction(gpu)
+        assert overlap == analytics.overlap_fraction(gpu)
+        swap_busy = metrics.gpus[gpu].swap_busy
+        if swap_busy > 0:
+            bound = min(metrics.gpus[gpu].compute_busy, swap_busy) / swap_busy
+            assert overlap <= bound + 1e-9
+        assert 0.0 <= overlap <= 1.0 + 1e-9
+
+
+def test_full_battery_on_fault_free_run(toy_traced):
+    plan, metrics, recorder = toy_traced
+    check_trace(recorder.events, graph=plan.graph, metrics=metrics,
+                iterations=1, dropped=recorder.dropped)
+
+
+def test_describe_folds_in_trace_analytics(toy_traced):
+    _plan, metrics, _recorder = toy_traced
+    text = metrics.describe()
+    assert "trace:" in text
+    assert "overlap" in text
+
+
+def _run(model, mode, trace=None, fault_plan=None):
+    harmony = Harmony(model, server_for(2), 8,
+                      options=HarmonyOptions(mode=mode))
+    return harmony.run(iterations=1, fault_plan=fault_plan,
+                       trace=trace).metrics
+
+
+@pytest.mark.no_trace_invariants  # the traced arm brings its own recorder
+@pytest.mark.parametrize("model", SMALL_MODELS)
+@pytest.mark.parametrize("mode", MODES)
+def test_tracing_is_zero_overhead(model, mode):
+    """Traced and untraced runs are bit-identical in virtual time."""
+    from repro.trace import TraceRecorder
+
+    plain = _run(model, mode)
+    traced = _run(model, mode, trace=TraceRecorder())
+    assert traced.iteration_time == plain.iteration_time
+    assert traced.global_swap_bytes == plain.global_swap_bytes
+    assert traced.global_p2p_bytes == plain.global_p2p_bytes
+    for a, b in zip(traced.gpus, plain.gpus):
+        assert a.compute_busy == b.compute_busy
+        assert a.swap_busy == b.swap_busy
+
+
+@pytest.mark.no_trace_invariants
+def test_tracing_is_zero_overhead_under_chaos():
+    from repro.trace import TraceRecorder
+
+    plan = lambda: FaultPlan(FaultSpec.chaos(2.0), seed=3)  # noqa: E731
+    plain = _run("toy-transformer", "pp", fault_plan=plan())
+    traced = _run("toy-transformer", "pp", trace=TraceRecorder(),
+                  fault_plan=plan())
+    assert traced.iteration_time == plain.iteration_time
+    assert traced.recovery.faults_injected == plain.recovery.faults_injected
+    assert traced.recovery.restarts == plain.recovery.restarts
+    assert traced.global_swap_bytes == plain.global_swap_bytes
