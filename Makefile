@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze chaos-smoke trace-smoke
+.PHONY: check lint typecheck test analyze chaos-smoke trace-smoke bench-smoke bench-baseline
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -27,6 +27,18 @@ analyze:
 # seed hangs (watchdog) or breaks byte accounting.
 chaos-smoke:
 	python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3
+
+# Perf-regression gate: run the smoke bench suite and compare against the
+# committed baseline (benchmarks/BENCH_baseline.json), normalized by each
+# report's calibration loop so it works across machine speeds.  Exits
+# nonzero on a >25% regression.
+bench-smoke:
+	python scripts/perf_gate.py --run --repeats 3
+
+# Re-bless the committed baseline on this machine (run after deliberate
+# perf-relevant changes; commit the result).
+bench-baseline:
+	python scripts/perf_gate.py --run --repeats 5 --update
 
 # Record a traced run (clean + chaos), invariant-check it, and export
 # Perfetto JSON; exits nonzero if the trace breaks a runtime invariant.

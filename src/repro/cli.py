@@ -20,6 +20,10 @@ Four subcommands:
   accounting.  ``--devices-lost`` scripts permanent GPU losses on top of
   the chaos mix to exercise elastic re-planning; ``--json`` writes the
   sweep as a machine-readable report.
+- ``bench`` -- time planner search, simulated execution and tracing for a
+  benchmark suite and write a schema-valid ``BENCH_<date>.json`` report;
+  ``scripts/perf_gate.py`` compares such reports against the committed
+  baseline and fails on regressions.
 
 Examples::
 
@@ -33,6 +37,7 @@ Examples::
     python -m repro.cli chaos gpt2 --minibatch 32 --seeds 10 --intensity 1.5
     python -m repro.cli chaos gpt2 --minibatch 16 --gpus 4 --seeds 5 \\
         --devices-lost 1 --iterations 3 --json chaos-elastic.json
+    python -m repro.cli bench --suite smoke --repeats 3 --out BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -150,6 +155,23 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write per-seed outcomes, recovery "
                             "counters and elastic re-plan counts as JSON")
+
+    from repro.perf.bench import SUITES
+
+    bench = sub.add_parser(
+        "bench",
+        help="time planner/simulator/tracing and write BENCH_<date>.json",
+    )
+    bench.add_argument("--suite", choices=sorted(SUITES), default="smoke",
+                       help="benchmark suite (default smoke)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="repeats per case; the minimum is reported "
+                            "(default 3)")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="search candidate evaluators (default 1 = "
+                            "serial; >1 forks a worker pool)")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="report path (default BENCH_<date>.json)")
     return parser
 
 
@@ -205,7 +227,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace(args)
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "bench":
+        return _bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """Run a benchmark suite and write the schema-valid JSON report."""
+    from repro.perf.bench import (
+        default_out_path,
+        render_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(args.suite, repeats=args.repeats,
+                       search_workers=args.workers)
+    print(render_report(report))
+    out = args.out or default_out_path()
+    write_report(report, out)
+    print(f"wrote {out}")
+    return 0
 
 
 def _trace(args: argparse.Namespace) -> int:

@@ -55,6 +55,10 @@ class HarmonyOptions:
     capacity_fraction: float = 0.45
     exhaustive_search: bool = False
     equi_fb: bool = False
+    # Configuration-search candidate evaluators: 1 is serial; > 1 fans the
+    # candidate estimates over a forked worker pool (bit-identical result,
+    # see SearchSettings.workers).
+    search_workers: int = 1
     seed: int = 0
     # Static schedule verification before execution: "off" skips it,
     # "warn" prints diagnostics to stderr, "strict" refuses to run a
@@ -85,6 +89,7 @@ class HarmonyOptions:
             capacity_fraction=self.capacity_fraction,
             exhaustive=self.exhaustive_search,
             equi_fb=self.equi_fb,
+            workers=self.search_workers,
         )
 
     def without(self, optimization: str) -> "HarmonyOptions":
@@ -157,10 +162,16 @@ class Harmony:
         self.minibatch = minibatch
         self.options = options
         self._plan: Optional[HarmonyPlan] = None
-        # Elastic re-plans memoized by (surviving GPU count, mode): the
-        # logical plan depends only on how many devices survive, never on
-        # *which* -- relabeling onto physical ids is the runtime's job.
-        self._subset_plans: dict[tuple[int, str], HarmonyPlan] = {}
+        self._plan_options: Optional[HarmonyOptions] = None
+        # Elastic re-plans memoized by (surviving GPU count, mode, search
+        # + schedule settings): the logical plan depends only on how many
+        # devices survive, never on *which* -- relabeling onto physical
+        # ids is the runtime's job.  The settings are part of the key so
+        # a re-plan requested after an options override (e.g. an elastic
+        # policy tightening the capacity fraction or capping microbatch
+        # sizes mid-incident) never reuses a plan searched under the old
+        # settings.
+        self._subset_plans: dict[tuple, HarmonyPlan] = {}
 
     @property
     def host_state_bytes(self) -> int:
@@ -178,7 +189,8 @@ class Harmony:
         Passing ``config`` skips the search and plans that configuration
         verbatim (used by the ablation and estimator-accuracy experiments).
         """
-        if self._plan is not None and config is None:
+        if (self._plan is not None and config is None
+                and self._plan_options == self.options):
             return self._plan
         decomposed = Decomposer(seed=self.options.seed).decompose(self.model)
         profiles = Profiler(self.server.gpu).profile(decomposed)
@@ -213,6 +225,7 @@ class Harmony:
         )
         if config is None:
             self._plan = plan
+            self._plan_options = self.options
         return plan
 
     # -- elastic re-planning ------------------------------------------------------
@@ -252,7 +265,11 @@ class Harmony:
         from repro.common.errors import InfeasibleConfigError, SchedulingError
 
         mode = mode if mode is not None else self.options.mode
-        key = (n_gpus, mode)
+        options = replace(self.options, mode=mode)
+        # Settings are part of the memo key (regression: an elastic
+        # re-plan after a settings override must not reuse a stale plan).
+        key = (n_gpus, mode, options.search_settings(),
+               options.schedule_options())
         if key in self._subset_plans:
             return self._subset_plans[key]
         if n_gpus == self.server.n_gpus and mode == self.options.mode:
@@ -261,7 +278,6 @@ class Harmony:
             return plan
         base = self.plan()
         server = self.reduced_server(n_gpus)
-        options = replace(self.options, mode=mode)
         schedule_options = options.schedule_options()
         try:
             search = ConfigurationSearch(

@@ -115,21 +115,62 @@ def balanced_time_packing(
     ``min_packs`` raises the starting pack count; the search engine uses it
     to also evaluate pack counts rounded to a multiple of the GPU count,
     where the wrap-around pipeline has no leftover-pack straggler.
+
+    The search engine re-requests the same packing many times (every
+    forward microbatch size is paired with every backward candidate, but
+    the forward split depends only on the forced tail, not on which
+    backward sweep asked); results -- including the infeasible outcome --
+    are memoized on ``profiles`` under the full argument key, so a repeat
+    call is a dict hit.  The returned tuple is immutable and safe to
+    share.
     """
+    forced_tail = backward_packs[-1] if backward_packs is not None else None
+    key = ("btp", phase, u, capacity, n_layers, forced_tail, min_packs)
+
+    def compute() -> tuple[bool, object]:
+        try:
+            return (True, _balanced_time_packing(
+                phase, u, profiles, capacity,
+                n_layers=n_layers, forced_tail=forced_tail,
+                min_packs=min_packs,
+            ))
+        except InfeasibleConfigError as exc:
+            return (False, exc)
+
+    ok, value = profiles.memo(key, compute)
+    if not ok:
+        raise value  # type: ignore[misc]
+    return value  # type: ignore[return-value]
+
+
+def _balanced_time_packing(
+    phase: Phase,
+    u: int,
+    profiles: ModelProfiles,
+    capacity: int,
+    n_layers: Optional[int],
+    forced_tail: Optional[Pack],
+    min_packs: int,
+) -> tuple[Pack, ...]:
     total_layers = len(profiles) if n_layers is None else n_layers
 
-    forced_tail: Optional[Pack] = None
-    if backward_packs is not None:
-        forced_tail = backward_packs[-1]
+    if forced_tail is not None:
         total_layers = forced_tail.first  # pack only layers before it
         if total_layers == 0:
             return (forced_tail,)
 
-    times = [profiles[i].time(phase, u) for i in range(total_layers)]
-    essentials = [
-        _essential_bytes(profiles, phase, i, u) for i in range(total_layers)
-    ]
-    s_min = max(min_packs, 1, -(-sum(essentials) // capacity))
+    # Per-layer scratch lists are identical across the many (n_packs,
+    # min_packs) probes of one search sweep; serve them from the profile
+    # memo (keyed on phase and u) instead of rebuilding them per call.
+    times = profiles.time_list(phase, u)[:total_layers]
+    essential_total = profiles.memo(
+        ("esssum", phase, u, total_layers),
+        lambda: sum(
+            _essential_bytes(profiles, phase, i, u)
+            for i in range(total_layers)
+        ),
+    )
+    s_min = max(min_packs, 1, -(-essential_total // capacity))
 
     for n_packs in range(s_min, total_layers + 1):
         packs = _split_packs(times, n_packs)

@@ -15,7 +15,7 @@ algorithm and task-graph generator consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.core.config import Pack
 from repro.core.decomposer import DecomposedModel
 from repro.graph.layer import Phase
 from repro.hardware.gpu import GpuSpec
+from repro.perf import perf_enabled
+
+_T = TypeVar("_T")
 
 DEFAULT_SAMPLE_SIZES = (1, 2, 4, 8, 16, 32, 64)
 
@@ -92,7 +95,30 @@ class LayerProfile:
 
 
 class ModelProfiles:
-    """The Scheduler's view of a profiled model (``phi``)."""
+    """The Scheduler's view of a profiled model (``phi``).
+
+    Pack-level aggregates are the packing algorithm's and the graph
+    builder's hot path: Algorithm 2 probes ``pack_memory`` for every
+    candidate cut at every microbatch size, which naively re-sums the
+    per-layer memory list each time (``O(R)`` per probe, ``O(R^3)`` per
+    search for deep CNNs).  When the perf subsystem is enabled (default;
+    ``REPRO_PERF_DISABLE=1`` turns it off) the aggregates are served from
+    memoized per-``(phase, u)`` tables:
+
+    - **integer** aggregates (memory footprints, parameter bytes) come
+      from prefix-sum tables -- Python ints, so the prefix difference is
+      *exactly* the naive sum, bit for bit;
+    - **float** aggregates (pack times, update FLOPs) are memoized whole:
+      the cached value was computed once with the very same left-to-right
+      summation order the naive code uses, so a hit returns the identical
+      bit pattern (prefix differences would NOT be bit-stable for
+      floats, which is why they are only used for ints).
+
+    Mutating a profile after construction must go through
+    :meth:`replace_layer` (or be followed by :meth:`invalidate_caches`),
+    which clears the tables and bumps :attr:`cache_token` so dependent
+    caches (the runtime estimator's) drop their entries too.
+    """
 
     def __init__(
         self,
@@ -103,6 +129,9 @@ class ModelProfiles:
         self.layers = list(layers)
         self.optimizer_slots = optimizer_slots
         self.gpu = gpu
+        self._memo_enabled = perf_enabled()
+        self._memo: dict[Any, Any] = {}
+        self._cache_token = 0
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -110,21 +139,87 @@ class ModelProfiles:
     def __getitem__(self, index: int) -> LayerProfile:
         return self.layers[index]
 
+    # -- memoization -----------------------------------------------------------
+
+    @property
+    def cache_token(self) -> int:
+        """Bumped on every invalidation; dependent caches compare it."""
+        return self._cache_token
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized aggregate (after mutating ``layers``)."""
+        self._memo.clear()
+        self._cache_token += 1
+
+    def replace_layer(self, index: int, profile: LayerProfile) -> None:
+        """Swap one layer's profile and invalidate all derived caches."""
+        self.layers[index] = profile
+        self.invalidate_caches()
+
+    def memo(self, key: Any, compute: Callable[[], _T]) -> _T:
+        """Memoize ``compute()`` under ``key`` (no-op when disabled).
+
+        Shared with :mod:`repro.core.packing` for its per-``(phase, u)``
+        scratch lists; keys are namespaced by their first element.
+        """
+        if not self._memo_enabled:
+            return compute()
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = self._memo[key] = compute()
+            return value
+
+    def _mem_prefix(self, phase: Phase, u: int) -> list[int]:
+        """Prefix sums of the per-layer memory list (exact: Python ints)."""
+
+        def build() -> list[int]:
+            prefix = [0]
+            total = 0
+            for layer in self.layers:
+                total += layer.memory(phase, u)
+                prefix.append(total)
+            return prefix
+
+        return self.memo(("memp", phase, u), build)
+
+    def _param_prefix(self) -> list[int]:
+        def build() -> list[int]:
+            prefix = [0]
+            total = 0
+            for layer in self.layers:
+                total += layer.param_bytes
+                prefix.append(total)
+            return prefix
+
+        return self.memo(("paramp",), build)
+
     # -- per-layer lists used by Algorithm 2 ---------------------------------
 
     def time_list(self, phase: Phase, u: int) -> list[float]:
-        return [layer.time(phase, u) for layer in self.layers]
+        times = self.memo(
+            ("times", phase, u),
+            lambda: tuple(layer.time(phase, u) for layer in self.layers),
+        )
+        return list(times)
 
     def memory_list(self, phase: Phase, u: int) -> list[int]:
-        return [layer.memory(phase, u) for layer in self.layers]
+        prefix = self._mem_prefix(phase, u)
+        return [prefix[i + 1] - prefix[i] for i in range(len(self.layers))]
 
     # -- pack-level aggregates -------------------------------------------------
 
     def pack_param_bytes(self, pack: Pack) -> int:
-        return sum(self.layers[i].param_bytes for i in pack.layers)
+        if not self._memo_enabled:
+            return sum(self.layers[i].param_bytes for i in pack.layers)
+        prefix = self._param_prefix()
+        return prefix[pack.last + 1] - prefix[pack.first]
 
     def pack_time(self, phase: Phase, pack: Pack, u: int) -> float:
-        return sum(self.layers[i].time(phase, u) for i in pack.layers)
+        return self.memo(
+            ("ptime", phase, pack.first, pack.last, u),
+            lambda: sum(self.layers[i].time(phase, u) for i in pack.layers),
+        )
 
     def pack_fwd_memory(self, pack: Pack, u: int) -> int:
         """Footprint of a forward task, following Algorithm 2 line 13:
@@ -132,23 +227,38 @@ class ModelProfiles:
         (``m[p].Sum()``).  Summing is conservative -- it charges every
         layer's live activations at once -- and is exactly what keeps the
         paper's packs fine-grained enough for the pipeline to balance."""
-        return sum(self.layers[i].memory(Phase.FWD, u) for i in pack.layers)
+        if not self._memo_enabled:
+            return sum(self.layers[i].memory(Phase.FWD, u) for i in pack.layers)
+        prefix = self._mem_prefix(Phase.FWD, u)
+        return prefix[pack.last + 1] - prefix[pack.first]
 
     def pack_bwd_memory(self, pack: Pack, u: int) -> int:
         """Footprint of a backward task: the sum of the per-layer backward
         memory list (weights + grads + recomputed stash + transients per
         layer), per Algorithm 2."""
-        return sum(self.layers[i].memory(Phase.BWD, u) for i in pack.layers)
+        if not self._memo_enabled:
+            return sum(self.layers[i].memory(Phase.BWD, u) for i in pack.layers)
+        prefix = self._mem_prefix(Phase.BWD, u)
+        return prefix[pack.last + 1] - prefix[pack.first]
 
     def pack_memory(self, phase: Phase, pack: Pack, u: int) -> int:
         if phase is Phase.FWD:
             return self.pack_fwd_memory(pack, u)
         if phase is Phase.BWD:
             return self.pack_bwd_memory(pack, u)
-        return sum(
-            (2 + self.optimizer_slots) * self.layers[i].param_bytes
-            for i in pack.layers
-        )
+        # Per-layer products are ints, so distributing the factor over the
+        # parameter prefix sum is exact.
+        return (2 + self.optimizer_slots) * self.pack_param_bytes(pack)
+
+    def pack_memory_naive(self, phase: Phase, pack: Pack, u: int) -> int:
+        """The original O(pack) summation, kept as the oracle the property
+        tests compare the prefix-sum tables against."""
+        if phase is Phase.UPD:
+            return sum(
+                (2 + self.optimizer_slots) * self.layers[i].param_bytes
+                for i in pack.layers
+            )
+        return sum(self.layers[i].memory(phase, u) for i in pack.layers)
 
     # -- boundary tensors --------------------------------------------------------
 
@@ -164,8 +274,11 @@ class ModelProfiles:
 
     def pack_update_flops(self, pack: Pack) -> float:
         """FLOPs of the optimizer step over the pack's parameters."""
-        return sum(
-            10.0 * self.layers[i].param_bytes / 4 for i in pack.layers
+        return self.memo(
+            ("uflops", pack.first, pack.last),
+            lambda: sum(
+                10.0 * self.layers[i].param_bytes / 4 for i in pack.layers
+            ),
         )
 
     @property

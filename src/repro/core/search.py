@@ -15,7 +15,9 @@ search times close to the paper's reported seconds.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -27,6 +29,7 @@ from repro.core.profiler import ModelProfiles
 from repro.core.taskgraph import HarmonyGraphBuilder, ScheduleOptions
 from repro.graph.layer import Phase
 from repro.hardware.server import ServerSpec
+from repro.perf import perf_enabled
 
 
 @dataclass(frozen=True)
@@ -43,6 +46,12 @@ class SearchSettings:
     # Equi-FB (Table 4): reuse the backward packs and microbatch size for
     # the forward pass instead of searching them independently.
     equi_fb: bool = False
+    # Candidate evaluators: 1 evaluates serially in-process; > 1 fans the
+    # per-(U, P) candidate graph builds and estimates out over a forked
+    # process pool with a deterministic (submission-order) reduce, so the
+    # winner is bit-identical to the serial sweep.  Ignored (serial) when
+    # REPRO_PERF_DISABLE is set or the platform cannot fork.
+    workers: int = 1
 
 
 @dataclass
@@ -174,9 +183,11 @@ class ConfigurationSearch:
                     pass
         return candidates
 
-    def search(self) -> SearchResult:
-        start = time.perf_counter()
-        # Line 1-3 of Algorithm 1: effective minibatch and microbatch caps.
+    def _enumerate_candidates(self) -> list[Configuration]:
+        """Lines 1-8 of Algorithm 1: the deduplicated candidate four-tuples,
+        in the exact order the original nested sweep visited them.  Packing
+        (Algorithm 2) runs here, serially and memoized; only the expensive
+        per-candidate graph build + estimate is fanned out."""
         local = self.minibatch
         if self.options.mode == "dp":
             if self.minibatch % self.server.n_gpus:
@@ -190,10 +201,7 @@ class ConfigurationSearch:
         u_fs = _candidate_sizes(self.settings.u_fmax, local,
                                 self.settings.exhaustive)
 
-        best: Optional[Explored] = None
-        explored: list[Explored] = []
-        infeasible = 0
-
+        candidates: list[Configuration] = []
         seen: set[tuple] = set()
         for u_b in u_bs:
             for packs_b in self._backward_candidates(u_b):
@@ -204,20 +212,78 @@ class ConfigurationSearch:
                         if key in seen:
                             continue
                         seen.add(key)
-                        try:
-                            config = Configuration(
-                                u_f=u_f, packs_f=packs_f,
-                                u_b=u_b, packs_b=packs_b,
-                            )
-                            graph = self.builder.build(config)
-                            estimate = self.estimator.estimate_graph(graph)
-                        except InfeasibleConfigError:
-                            infeasible += 1
-                            continue
-                        entry = Explored(config=config, estimate=estimate)
-                        explored.append(entry)
-                        if best is None or estimate < best.estimate:
-                            best = entry
+                        candidates.append(Configuration(
+                            u_f=u_f, packs_f=packs_f,
+                            u_b=u_b, packs_b=packs_b,
+                        ))
+        return candidates
+
+    def _evaluate_one(self, config: Configuration) -> Optional[float]:
+        """Build + estimate one candidate; None when infeasible."""
+        try:
+            graph = self.builder.build(config)
+            return self.estimator.estimate_graph(graph)
+        except InfeasibleConfigError:
+            return None
+
+    def _evaluate_serial(
+        self, candidates: list[Configuration]
+    ) -> list[Optional[float]]:
+        return [self._evaluate_one(config) for config in candidates]
+
+    def _evaluate_parallel(
+        self, candidates: list[Configuration], workers: int
+    ) -> list[Optional[float]]:
+        """Fan candidate evaluation over a forked process pool.
+
+        Each worker builds its own graph builder + estimator from the
+        shared profiles (sent once, at pool init); a candidate's estimate
+        is a pure function of (profiles, server, options, candidate), so
+        the value computed in a worker is bit-identical to the serial
+        path no matter which worker ran it or in what order.  ``map``
+        returns results in submission order, so the reduce below is the
+        deterministic serial reduce.
+        """
+        ctx = multiprocessing.get_context("fork")
+        chunk = max(1, len(candidates) // (4 * workers))
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(candidates)),
+            mp_context=ctx,
+            initializer=_init_eval_worker,
+            initargs=(self.profiles, self.server, self.minibatch,
+                      self.options),
+        ) as pool:
+            return list(pool.map(_eval_candidate, candidates, chunksize=chunk))
+
+    def search(self) -> SearchResult:
+        start = time.perf_counter()
+        candidates = self._enumerate_candidates()
+
+        workers = self.settings.workers
+        use_pool = (
+            workers > 1
+            and len(candidates) > 1
+            and perf_enabled()
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_pool:
+            estimates = self._evaluate_parallel(candidates, workers)
+        else:
+            estimates = self._evaluate_serial(candidates)
+
+        # Deterministic reduce in enumeration order: the first strict
+        # minimum wins, exactly as the serial sweep picked it.
+        best: Optional[Explored] = None
+        explored: list[Explored] = []
+        infeasible = 0
+        for config, estimate in zip(candidates, estimates):
+            if estimate is None:
+                infeasible += 1
+                continue
+            entry = Explored(config=config, estimate=estimate)
+            explored.append(entry)
+            if best is None or estimate < best.estimate:
+                best = entry
 
         if best is None:
             raise InfeasibleConfigError(
@@ -232,3 +298,35 @@ class ConfigurationSearch:
             n_feasible=len(explored),
             n_infeasible=infeasible,
         )
+
+
+# -- process-pool plumbing --------------------------------------------------------
+#
+# Workers rebuild the graph builder and estimator once per process (pool
+# initializer) and then evaluate candidates sent over the pipe.  Module-level
+# by necessity: ProcessPoolExecutor requires picklable (or fork-inherited)
+# callables.
+
+_EVAL_STATE: Optional[tuple[HarmonyGraphBuilder, RuntimeEstimator]] = None
+
+
+def _init_eval_worker(
+    profiles: ModelProfiles,
+    server: ServerSpec,
+    minibatch: int,
+    options: ScheduleOptions,
+) -> None:
+    global _EVAL_STATE
+    builder = HarmonyGraphBuilder(profiles, server.n_gpus, minibatch, options)
+    estimator = RuntimeEstimator(profiles, server, prefetch=options.prefetch)
+    _EVAL_STATE = (builder, estimator)
+
+
+def _eval_candidate(config: Configuration) -> Optional[float]:
+    assert _EVAL_STATE is not None, "worker used before initialization"
+    builder, estimator = _EVAL_STATE
+    try:
+        graph = builder.build(config)
+        return estimator.estimate_graph(graph)
+    except InfeasibleConfigError:
+        return None

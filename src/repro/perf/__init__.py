@@ -1,0 +1,67 @@
+"""Performance subsystem: hot-path caches, benchmarks, and the perf gate.
+
+Harmony's scheduler is the heaviest CPU path in this reproduction -- the
+paper reports ~1 s configuration searches for transformers but ~32 s for
+ResNet1K (Table 1), and the discrete-event engine is re-executed
+thousands of times across the test/chaos/elastic suites.  This package
+holds the machinery that keeps those paths fast *without changing a
+single planned or simulated output*:
+
+- the global enable switch the hot-path caches consult
+  (:func:`perf_enabled`, the ``REPRO_PERF_DISABLE=1`` escape hatch);
+- the benchmark harness (:mod:`repro.perf.bench`, the ``repro bench``
+  CLI) that times planner search, simulated execution and tracing
+  overhead per model x mode and emits machine-readable
+  ``BENCH_<date>.json``;
+- the bench-report schema and validator (:mod:`repro.perf.schema`)
+  that ``scripts/perf_gate.py`` and CI check reports against.
+
+Every optimization gated on :func:`perf_enabled` is *bit-identical* to
+the naive computation it replaces: integer prefix sums are exact, and
+float caches store a value computed once with the very summation order
+the naive code used, so a cache hit returns the identical bit pattern.
+The regression suite (``tests/perf``) re-plans and re-runs the model zoo
+with caches on and off and asserts equality down to the golden traces.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["perf_enabled", "injected_slowdown"]
+
+#: Environment variable that disables every perf-subsystem cache and the
+#: parallel search pool when set to a truthy value ("1", "true", "yes").
+DISABLE_ENV = "REPRO_PERF_DISABLE"
+
+#: Test hook for the perf gate: a float multiplier applied to measured
+#: bench timings, so the gate's failure path can be exercised without
+#: actually making the code slower.
+SLOWDOWN_ENV = "REPRO_PERF_INJECT_SLOWDOWN"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def perf_enabled() -> bool:
+    """True unless ``REPRO_PERF_DISABLE`` is set to a truthy value.
+
+    Consulted when a cache-bearing object is *constructed* (profiles,
+    estimators, searches), never in a hot loop -- flipping the variable
+    mid-object does not change that object's behavior.
+    """
+    return os.environ.get(DISABLE_ENV, "").strip().lower() not in _TRUTHY
+
+
+def injected_slowdown() -> float:
+    """Multiplier the bench harness applies to measured wall times.
+
+    Defaults to 1.0; the perf-gate tests set ``REPRO_PERF_INJECT_SLOWDOWN``
+    to demonstrate that the gate actually fails on a regression.
+    """
+    raw = os.environ.get(SLOWDOWN_ENV, "").strip()
+    if not raw:
+        return 1.0
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{SLOWDOWN_ENV} must be positive, got {raw!r}")
+    return value

@@ -207,12 +207,14 @@ class Process(SimEvent):
             target = dispatch(arg)
         except StopIteration as stop:
             self.succeed(stop.value)
+            self.sim._unregister_process(self)
             return
         except SimulationError:
             # Kernel-invariant violations abort the simulation outright.
             raise
         except BaseException as exc:
             self.fail(exc)
+            self.sim._unregister_process(self)
             return
         if not isinstance(target, SimEvent):
             raise SimulationError(
@@ -277,7 +279,14 @@ class Simulator:
         self._seq = 0
         self._steps = 0
         self._unhandled: list[tuple[SimEvent, BaseException]] = []
-        self._processes: list[Process] = []
+        # Pending-process index.  Long simulations (multi-iteration chaos
+        # runs) spawn one short-lived process per stream operation; an
+        # append-only list both grows without bound and forces the
+        # watchdog to scan every process that ever ran.  An insertion-
+        # ordered dict keyed on the process gives O(1) register/retire
+        # and keeps only live processes, while preserving the
+        # registration order the watchdog's error message reports.
+        self._processes: dict[Process, None] = {}
         #: Optional execution-trace recorder (duck-typed
         #: :class:`repro.trace.recorder.TraceRecorder`).  Traced layers
         #: guard every recording on ``sim.trace is not None``, so the
@@ -317,7 +326,10 @@ class Simulator:
         return Process(self, body, name=name)
 
     def _register_process(self, process: Process) -> None:
-        self._processes.append(process)
+        self._processes[process] = None
+
+    def _unregister_process(self, process: Process) -> None:
+        self._processes.pop(process, None)
 
     def _pending_processes(self, limit: int = 8) -> str:
         pending = [p.name for p in self._processes if not p.fired]
@@ -350,8 +362,13 @@ class Simulator:
         """
         if self._unhandled:
             self._raise_unhandled()
-        while self._heap:
-            time, _seq, callback, args = self._heap[0]
+        # The heap and pop are bound to locals: this loop runs once per
+        # scheduled callback and is re-entered thousands of times across
+        # a chaos sweep, so attribute lookups in it are measurable.
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, callback, args = heap[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
@@ -367,7 +384,7 @@ class Simulator:
                     f"draining (suspected runaway or leaked process); "
                     f"pending processes: {self._pending_processes()}"
                 )
-            heapq.heappop(self._heap)
+            heappop(heap)
             if time < self._now - 1e-12:
                 raise SimulationError("event heap time went backwards")
             self._now = time

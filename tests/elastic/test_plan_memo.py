@@ -1,0 +1,73 @@
+"""Plan memoization must key on the settings the plan was searched under.
+
+Regression tests for the memo keys in :class:`repro.core.harmony.Harmony`:
+an elastic policy that tightens search settings mid-incident (e.g. caps
+microbatch sizes before requesting a re-plan) must get a plan searched
+under the *new* settings, never a stale one memoized under the old.
+Historically ``plan_for_server`` keyed only on ``(n_gpus, mode)`` and
+``plan()`` keyed on nothing, so both served stale plans after an options
+override.
+"""
+
+from dataclasses import replace
+
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+
+
+def _harmony(mode="pp"):
+    return Harmony("toy-transformer", server_for(2), 8,
+                   options=HarmonyOptions(mode=mode))
+
+
+def test_plan_for_server_memoizes_under_stable_settings():
+    harmony = _harmony()
+    first = harmony.plan_for_server(1)
+    assert harmony.plan_for_server(1) is first
+
+
+def test_plan_for_server_recomputes_after_search_setting_change():
+    harmony = _harmony()
+    stale = harmony.plan_for_server(1)
+    assert stale.config.u_b > 1, "fixture too small to show the cap"
+
+    harmony.options = replace(harmony.options, u_fmax=1, u_bmax=1)
+    fresh = harmony.plan_for_server(1)
+    assert fresh is not stale
+    assert fresh.config.u_f == 1 and fresh.config.u_b == 1, (
+        "re-plan ignored the tightened microbatch caps -- the memo key "
+        "is missing the search settings"
+    )
+    # The new settings are now the memoized ones.
+    assert harmony.plan_for_server(1) is fresh
+
+
+def test_plan_for_server_recomputes_after_schedule_option_change():
+    harmony = _harmony()
+    stale = harmony.plan_for_server(1)
+    harmony.options = replace(harmony.options, p2p=False)
+    fresh = harmony.plan_for_server(1)
+    assert fresh is not stale
+    assert fresh.options.p2p is False
+
+
+def test_full_size_replan_tracks_settings_too():
+    """n_gpus == server size takes the plan() shortcut; that path must
+    honor settings changes as well."""
+    harmony = _harmony()
+    stale = harmony.plan_for_server(2)
+    harmony.options = replace(harmony.options, u_fmax=1, u_bmax=1)
+    fresh = harmony.plan_for_server(2)
+    assert fresh is not stale
+    assert fresh.config.u_f == 1 and fresh.config.u_b == 1
+
+
+def test_plan_memo_keys_on_options():
+    harmony = _harmony()
+    first = harmony.plan()
+    assert harmony.plan() is first
+    harmony.options = replace(harmony.options, u_fmax=1, u_bmax=1)
+    second = harmony.plan()
+    assert second is not first
+    assert second.config.u_f == 1 and second.config.u_b == 1
+    assert harmony.plan() is second

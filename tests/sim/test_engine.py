@@ -228,3 +228,43 @@ class TestResource:
         assert res.in_use == 2
         res.release()
         assert res.in_use == 1
+
+
+class TestProcessRegistry:
+    """The live-process registry backs the watchdog's diagnostics; it
+    must shed processes as they retire (success or failure) so it stays
+    O(live) rather than O(ever-created), and keep registration order
+    for deterministic watchdog messages."""
+
+    def test_completed_processes_are_unregistered(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        procs = [sim.process(body(), name=f"p{i}") for i in range(5)]
+        assert list(sim._processes) == procs
+        sim.run()
+        assert sim._processes == {}
+
+    def test_failed_process_is_unregistered(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def watcher(proc):
+            try:
+                yield proc
+            except RuntimeError:
+                pass
+
+        proc = sim.process(bad())
+        sim.process(watcher(proc))
+        sim.run()
+        assert proc not in sim._processes
+
+    def test_live_processes_stay_registered_for_watchdog(self, sim):
+        def stuck():
+            yield sim.event()  # never fires
+
+        sim.process(stuck(), name="stuck-proc")
+        sim.run()  # drains the heap; the process is still pending
+        assert "stuck-proc" in sim._pending_processes()
