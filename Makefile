@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze chaos-smoke trace-smoke bench-smoke bench-baseline
+.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke trace-smoke bench-smoke bench-baseline
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -11,6 +11,7 @@ check:
 lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
 	else echo "ruff not installed, skipping lint"; fi
+	python -m repro.lint
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/analysis; \
@@ -22,6 +23,18 @@ test:
 # Convenience: statically verify the headline schedule.
 analyze:
 	python -m repro.cli check gpt2 --minibatch 64 --mode pp
+
+# Analyzer smoke: project linter + the full static pass set (races,
+# lifetime, parametric certificates) over the CNN zoo in both modes,
+# leaving machine-readable diagnostics in analyze-<model>-<mode>.json.
+analyze-smoke:
+	python -m repro.lint
+	for model in tiny-cnn resnet1k vgg416; do \
+	    for mode in pp dp; do \
+	        python -m repro.cli check $$model --minibatch 16 --mode $$mode \
+	            --json analyze-$$model-$$mode.json || exit 1; \
+	    done; \
+	done
 
 # Quick fault-injection sweep on the toy model: exits nonzero if any
 # seed hangs (watchdog) or breaks byte accounting.

@@ -25,6 +25,12 @@ else
     echo "== mypy == not installed, skipping typecheck"
 fi
 
+echo "== repro.lint =="
+# Project-invariant linter (seeded RNG only, no wall clocks, frozen
+# trace events, integer-exact capacity arithmetic); stdlib-only, so it
+# always runs.
+python -m repro.lint || failed=1
+
 echo "== pytest (tier 1) =="
 python -m pytest -x -q tests/ || failed=1
 

@@ -31,10 +31,16 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     PassResult,
     Severity,
+    Waiver,
     stream_ref,
     task_ref,
 )
+from repro.analysis.hb import HappensBefore, build_happens_before
 from repro.analysis.inject import INJECTIONS, inject
+from repro.analysis.parametric import (
+    CapacityCertificate,
+    capacity_certificates,
+)
 from repro.analysis.passes import AnalysisPass, register, registered_passes
 from repro.common.errors import ScheduleAnalysisError
 
@@ -42,13 +48,18 @@ __all__ = [
     "AnalysisContext",
     "AnalysisPass",
     "AnalysisReport",
+    "CapacityCertificate",
     "Diagnostic",
+    "HappensBefore",
     "INJECTIONS",
     "PassResult",
     "STRUCTURAL_PASSES",
     "ScheduleAnalysisError",
     "Severity",
+    "Waiver",
     "analyze",
+    "build_happens_before",
+    "capacity_certificates",
     "check",
     "inject",
     "register",

@@ -17,11 +17,20 @@ from typing import Iterable, Optional, Sequence
 from repro.analysis import structure as _structure  # noqa: F401  isort:skip
 from repro.analysis import deadlock as _deadlock    # noqa: F401  isort:skip
 from repro.analysis import dataflow as _dataflow    # noqa: F401  isort:skip
+from repro.analysis import hb as _hb                # noqa: F401  isort:skip
+from repro.analysis import lifetime as _lifetime    # noqa: F401  isort:skip
 from repro.analysis import capacity as _capacity    # noqa: F401  isort:skip
+from repro.analysis import parametric as _parametric  # noqa: F401  isort:skip
 from repro.analysis import channels as _channels    # noqa: F401  isort:skip
 from repro.analysis import ablation as _ablation    # noqa: F401  isort:skip
 from repro.analysis.context import AnalysisContext
-from repro.analysis.diagnostics import AnalysisReport, PassResult
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    PassResult,
+    Severity,
+    Waiver,
+)
 from repro.analysis.passes import get_pass, registered_passes
 from repro.core.taskgraph import ScheduleOptions
 from repro.core.types import TaskGraph
@@ -43,20 +52,30 @@ def analyze(
     server: Optional[ServerSpec] = None,
     options: Optional[ScheduleOptions] = None,
     host_state_bytes: Optional[int] = None,
+    host_input_bytes: Optional[int] = None,
     prefetch: bool = True,
     passes: Optional[Sequence[str]] = None,
     suppress: Iterable[str] = (),
+    waivers: Sequence[Waiver] = (),
 ) -> AnalysisReport:
-    """Run the analyzer and return the full report (never raises)."""
+    """Run the analyzer and return the full report (never raises).
+
+    ``suppress`` mutes rules outright (test plumbing); ``waivers`` is
+    the reviewable variant -- matched findings surface as INFO with the
+    waiver's justification, and an unmatched waiver is itself an error.
+    """
     ctx = AnalysisContext(
         graph,
         server=server,
         options=options,
         host_state_bytes=host_state_bytes,
+        host_input_bytes=host_input_bytes,
         prefetch=prefetch,
     )
     names = list(passes) if passes is not None else list(registered_passes())
     muted = frozenset(suppress)
+    by_rule = {waiver.rule: waiver for waiver in waivers}
+    unused = dict(by_rule)
     report = AnalysisReport(graph_mode=graph.mode, n_tasks=len(graph.tasks))
     for name in names:
         instance = get_pass(name)()
@@ -68,9 +87,26 @@ def analyze(
         for diagnostic in instance.run(ctx):
             if diagnostic.rule in muted:
                 result.suppressed += 1
+            elif diagnostic.rule in by_rule:
+                unused.pop(diagnostic.rule, None)
+                result.diagnostics.append(
+                    by_rule[diagnostic.rule].rewrite(diagnostic)
+                )
             else:
                 result.diagnostics.append(diagnostic)
         report.results.append(result)
+    if unused:
+        report.results.append(PassResult("waiver", diagnostics=[
+            Diagnostic(
+                "waiver/unused", Severity.ERROR,
+                f"waiver for {rule!r} matched no finding "
+                f"({waiver.justification}); the excused condition is "
+                "gone -- delete the waiver",
+                hint="a stale waiver hides future regressions of the "
+                     "waived rule",
+            )
+            for rule, waiver in unused.items()
+        ]))
     return report
 
 

@@ -26,6 +26,10 @@ class AnalysisContext:
     # Host-resident model state + input buffers, for host-capacity
     # certification (mirrors Executor's host working-set bound).
     host_state_bytes: Optional[int] = None
+    # The portion of host_state_bytes that is input staging and so grows
+    # with the microbatch count; lets the parametric pass split the host
+    # bound into fixed and per-N components.  None: treat all as fixed.
+    host_input_bytes: Optional[int] = None
     # Whether the Runtime will run with prefetch double-buffering; bounds
     # how many tasks hold GPU residency concurrently per device.
     prefetch: bool = True

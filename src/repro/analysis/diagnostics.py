@@ -74,6 +74,33 @@ class Diagnostic:
         return text
 
 
+@dataclass(frozen=True)
+class Waiver:
+    """An acknowledged, justified exception to one rule.
+
+    Unlike blanket suppression, a waived finding still *surfaces* in the
+    report -- demoted to INFO under ``waiver/<rule>`` with the
+    justification attached -- and a waiver that matches nothing is itself
+    an error (``waiver/unused``), so stale waivers die with the finding
+    they excused.
+    """
+
+    rule: str               # the rule id being waived, e.g. "capacity/gpu"
+    justification: str      # why the finding is acceptable here
+
+    def rewrite(self, diagnostic: Diagnostic) -> Diagnostic:
+        """The INFO-severity surfaced form of a waived diagnostic."""
+        return Diagnostic(
+            rule=f"waiver/{self.rule.replace('/', '.')}",
+            severity=Severity.INFO,
+            message=f"waived: {diagnostic.message}",
+            task=diagnostic.task,
+            device=diagnostic.device,
+            move=diagnostic.move,
+            hint=f"justification: {self.justification}",
+        )
+
+
 @dataclass
 class PassResult:
     """Outcome of running (or skipping) one pass."""

@@ -1,0 +1,159 @@
+"""Tensor-lifetime safety, by abstract interpretation over a state lattice.
+
+Each tensor a schedule touches is, at any point of the iteration, in one
+of four abstract states: **gpu-resident**, **host**, **in-flight**, or
+**freed**.  Moves are the transitions -- a host-channel fetch takes
+``host -> in-flight -> gpu-resident``, a flush the reverse, and the
+Runtime's sliding residency window *frees* device-resident boundary data
+once it rotates past the producing task's slot.  This pass walks every
+device's issue order through that lattice and reports consumptions of
+bytes that can only be in the wrong state:
+
+- ``lifetime/use-before-fetch``: a ``LOCAL`` in-move with no producing
+  task.  LOCAL promises the bytes are already device-resident, but
+  nothing ever fetched or computed them -- the abstract state at the
+  consumer is *freed* (never allocated) on every path;
+- ``lifetime/use-after-evict``: a ``LOCAL`` in-move whose same-device
+  producer is separated from the consumer by a task of a *third* group.
+  The Executor holds at most ``fetch_slots`` task windows resident, and
+  boundary tensors survive only from one group's slot to the adjacent
+  consumer's; once an unrelated group's window is granted in between,
+  the producer's boundary allocation has been rotated out -- the state
+  at the consumer is *freed* (evicted) on the Runtime's path;
+- ``lifetime/double-release``: two UPD tasks own the same ``(device,
+  layer)`` slice of model state.  Update ownership is release-once: the
+  second releaser frees parameter/optimizer buffers the first already
+  returned, corrupting the pool.
+
+Cross-device LOCAL moves are the channel pass's finding
+(``channel/local-cross-device``), and a producer queued *behind* its
+consumer is the deadlock pass's; this pass stays silent on both rather
+than double-reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import Channel, Task, TaskKind
+
+#: Tasks of one group share a residency window; boundary tensors live
+#: exactly as long as adjacent groups' windows overlap.
+_Group = tuple[TaskKind, int, int, bool]
+
+
+def _group(task: Task) -> _Group:
+    return (task.kind, task.first_layer, task.last_layer, task.fused)
+
+
+@register
+class LifetimePass(AnalysisPass):
+    name = "lifetime"
+    rules = (
+        "lifetime/use-before-fetch",
+        "lifetime/use-after-evict",
+        "lifetime/double-release",
+    )
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        graph = ctx.graph
+        n_tasks = len(graph.tasks)
+        device_gpu_order: list[list[Task]] = [
+            [t for t in tasks if not t.on_cpu]
+            for tasks in ctx.device_order()
+        ]
+        position = {
+            task.tid: i
+            for tasks in device_gpu_order
+            for i, task in enumerate(tasks)
+        }
+
+        for task in graph.tasks:
+            for move in task.ins:
+                if move.channel is not Channel.LOCAL or move.nbytes == 0:
+                    continue
+                if move.src_task is None:
+                    yield Diagnostic(
+                        "lifetime/use-before-fetch", Severity.ERROR,
+                        f"{task_ref(task.tid)} consumes {move.nbytes} "
+                        f"device-resident bytes with no producing task; "
+                        f"the buffer is never fetched or computed on "
+                        f"gpu{task.device}",
+                        task=task.tid, device=task.device, move=move.label,
+                        hint="name the producer via src_task, or fetch "
+                             "the bytes over SWAP/P2P",
+                    )
+                    continue
+                if not 0 <= move.src_task < n_tasks:
+                    continue  # structure pass reports dangling sources
+                producer = graph.tasks[move.src_task]
+                if producer.device != task.device or producer.on_cpu:
+                    continue  # channel/local-cross-device territory
+                evicted = self._evicting_task(
+                    device_gpu_order[task.device], position,
+                    producer, task,
+                )
+                if evicted is not None:
+                    yield Diagnostic(
+                        "lifetime/use-after-evict", Severity.ERROR,
+                        f"{task_ref(task.tid)} reuses {move.nbytes} "
+                        f"resident bytes from {task_ref(producer.tid)}, "
+                        f"but {task_ref(evicted.tid)} "
+                        f"({evicted.label or evicted.kind.value}) runs in "
+                        f"between on gpu{task.device}: the residency "
+                        f"window has rotated past the producer and the "
+                        f"boundary buffer is freed",
+                        task=task.tid, device=task.device, move=move.label,
+                        hint="re-fetch over SWAP, or reorder so producer "
+                             "and consumer windows are adjacent",
+                    )
+
+        yield from self._double_release(graph)
+
+    @staticmethod
+    def _evicting_task(
+        gpu_tasks: list[Task],
+        position: dict[int, int],
+        producer: Task,
+        consumer: Task,
+    ) -> Optional[Task]:
+        """First third-group task between producer and consumer, if any."""
+        start = position.get(producer.tid)
+        end = position.get(consumer.tid)
+        if start is None or end is None or start >= end:
+            return None  # mis-queued producers are the deadlock pass's
+        keep = {_group(producer), _group(consumer)}
+        for between in gpu_tasks[start + 1:end]:
+            if _group(between) not in keep:
+                return between
+        return None
+
+    @staticmethod
+    def _double_release(graph) -> Iterator[Diagnostic]:
+        # (device, layer) -> tid of the update that released it first.
+        owner: dict[tuple[int, int], int] = {}
+        for task in graph.tasks:
+            if task.kind is not TaskKind.UPD:
+                continue
+            clash: Optional[int] = None
+            for layer in task.layers:
+                key = (task.device, layer)
+                if key in owner:
+                    clash = owner[key] if clash is None else clash
+                else:
+                    owner[key] = task.tid
+            if clash is not None:
+                yield Diagnostic(
+                    "lifetime/double-release", Severity.ERROR,
+                    f"{task_ref(task.tid)} re-releases update ownership "
+                    f"of layers {task.first_layer}..{task.last_layer} on "
+                    f"gpu{task.device} already released by "
+                    f"{task_ref(clash)}; the second release frees "
+                    f"already-freed parameter/optimizer buffers",
+                    task=task.tid, device=task.device,
+                    hint="give each (device, layer) slice exactly one "
+                         "update task per iteration",
+                )

@@ -1,0 +1,203 @@
+"""Parametric capacity certificates: peak memory as a function of N.
+
+The point capacity check (:mod:`repro.analysis.capacity`) certifies one
+profiled plan.  This pass generalizes it: peak residency is bounded by a
+symbolic *affine form* in the per-group microbatch count N, and the
+certificate either holds for every N >= 1 or names the smallest
+violating N -- the planner's whole parameter family is certified at
+once, not one point.
+
+Derivation (all integer arithmetic; these paths are deliberately free of
+float accumulation and the project linter enforces that):
+
+- **per GPU**: a task's planned ``resident_bytes`` splits into an
+  N-independent part (weights, one in-flight microbatch's activations)
+  and the group-boundary tensors it holds for neighbouring groups --
+  exactly the bytes its ``LOCAL`` in-moves declare, which grow linearly
+  with the group's microbatch count.  With ``resident(t, N) =
+  max(0, resident_bytes - local_in) + local_in * N``, the device bound
+  is the max over every ``fetch_slots``-consecutive window of the
+  window's affine sum ``fixed_w + slope_w * N``.  At N = 1 this is
+  identically the point check's bound;
+- **host**: pinned state splits into model state (N-independent) and
+  input staging buffers (linear in N, when the caller supplies the
+  split via ``host_input_bytes``); every live checkpoint stash also
+  scales with N.  ``peak(N) = (state - input) + (input + stash) * N``,
+  again collapsing to the point check at N = 1.
+
+Each scope yields one :class:`CapacityCertificate` for its *binding*
+window -- the one violated at the smallest N.  A violation at N = 1
+(``parametric/gpu-unsafe`` / ``parametric/host-unsafe``) is an error and
+coincides with the point check; a finite ceiling N* > 1 is advisory
+(``parametric/gpu-ceiling`` / ``parametric/host-ceiling``): the plan as
+built is safe, but scaling the microbatch group past N* - 1 overflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, task_ref
+from repro.analysis.passes import AnalysisPass, register
+from repro.core.types import Channel, Task, TensorKind
+
+_INF = None  # "no violating N" sentinel, for readability
+
+
+@dataclass(frozen=True)
+class CapacityCertificate:
+    """An affine bound ``peak(N) = fixed + slope * N`` against a budget."""
+
+    scope: str              # "gpu<d>" or "host"
+    fixed_bytes: int        # N-independent component
+    slope_bytes: int        # growth per unit of N
+    capacity_bytes: int     # the hardware budget the bound is held to
+    detail: str = ""        # what the binding window / split is
+
+    def peak(self, n: int) -> int:
+        """The certified peak-residency bound at microbatch count n."""
+        return self.fixed_bytes + self.slope_bytes * n
+
+    def smallest_violating_n(self) -> Optional[int]:
+        """Least N >= 1 with ``peak(N) > capacity``; None if safe for all."""
+        if self.peak(1) > self.capacity_bytes:
+            return 1
+        if self.slope_bytes <= 0:
+            return _INF
+        headroom = self.capacity_bytes - self.fixed_bytes
+        return headroom // self.slope_bytes + 1
+
+    @property
+    def safe_for_all(self) -> bool:
+        return self.smallest_violating_n() is None
+
+    def describe(self) -> str:
+        bound = (f"{self.scope}: peak(N) <= {self.fixed_bytes} + "
+                 f"{self.slope_bytes}*N bytes vs capacity "
+                 f"{self.capacity_bytes}")
+        n = self.smallest_violating_n()
+        verdict = ("safe for all N >= 1" if n is None
+                   else f"violates at N = {n}")
+        return f"{bound} -- {verdict}"
+
+
+def _local_in_bytes(task: Task) -> int:
+    return sum(
+        m.nbytes for m in task.ins
+        if m.channel is Channel.LOCAL and m.nbytes > 0
+    )
+
+
+def _window_names(tasks: list[Task]) -> str:
+    return ", ".join(
+        f"{task_ref(t.tid)} ({t.label or t.kind.value})" for t in tasks
+    )
+
+
+def _device_certificate(
+    device: int, tasks: list[Task], window: int, capacity: int
+) -> CapacityCertificate:
+    """The binding (smallest violating N) window bound for one GPU."""
+    slopes = [0 if t.on_cpu else _local_in_bytes(t) for t in tasks]
+    fixeds = [
+        0 if t.on_cpu else max(0, t.resident_bytes - slopes[i])
+        for i, t in enumerate(tasks)
+    ]
+    best: Optional[CapacityCertificate] = None
+    best_key: Optional[tuple[int, int]] = None
+    for i in range(len(tasks)):
+        cert = CapacityCertificate(
+            scope=f"gpu{device}",
+            fixed_bytes=sum(fixeds[i:i + window]),
+            slope_bytes=sum(slopes[i:i + window]),
+            capacity_bytes=capacity,
+            detail=f"window {_window_names(tasks[i:i + window])}",
+        )
+        n = cert.smallest_violating_n()
+        # Order by: violated earliest, then highest as-built peak.
+        key = (n if n is not None else 1 << 62, -cert.peak(1))
+        if best_key is None or key < best_key:
+            best, best_key = cert, key
+    if best is None:
+        best = CapacityCertificate(
+            scope=f"gpu{device}", fixed_bytes=0, slope_bytes=0,
+            capacity_bytes=capacity, detail="no tasks bound to this GPU",
+        )
+    return best
+
+
+def capacity_certificates(ctx: AnalysisContext) -> list[CapacityCertificate]:
+    """Every scope's binding affine capacity bound (requires a server).
+
+    One certificate per GPU, plus a host certificate when the caller
+    supplied ``host_state_bytes`` (host fit for massive models is
+    otherwise out of scope, mirroring the point check).
+    """
+    assert ctx.server is not None, "capacity certificates need a server"
+    certs = [
+        _device_certificate(
+            device, tasks, ctx.fetch_slots, ctx.server.gpu.memory_bytes
+        )
+        for device, tasks in enumerate(ctx.device_order())
+    ]
+    if ctx.host_state_bytes is not None:
+        stash = sum(
+            move.nbytes
+            for task in ctx.graph.tasks
+            for move in task.outs
+            if move.tensor is TensorKind.CKPT
+        )
+        state = ctx.host_state_bytes
+        input_bytes = min(ctx.host_input_bytes or 0, state)
+        certs.append(CapacityCertificate(
+            scope="host",
+            fixed_bytes=state - input_bytes,
+            slope_bytes=input_bytes + stash,
+            capacity_bytes=ctx.server.host.memory_bytes,
+            detail=f"pinned state {state} bytes (input staging "
+                   f"{input_bytes}) + checkpoint stash {stash} bytes",
+        ))
+    return certs
+
+
+@register
+class ParametricCapacityPass(AnalysisPass):
+    name = "parametric"
+    rules = (
+        "parametric/gpu-unsafe",
+        "parametric/gpu-ceiling",
+        "parametric/host-unsafe",
+        "parametric/host-ceiling",
+    )
+
+    def skip_reason(self, ctx: AnalysisContext) -> Optional[str]:
+        if ctx.server is None:
+            return "no server spec"
+        return None
+
+    def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        for cert in capacity_certificates(ctx):
+            n = cert.smallest_violating_n()
+            if n is None:
+                continue  # safe for all N >= 1: nothing to flag
+            kind = "host" if cert.scope == "host" else "gpu"
+            device = (int(cert.scope[3:])
+                      if cert.scope.startswith("gpu") else None)
+            if n <= 1:
+                yield Diagnostic(
+                    f"parametric/{kind}-unsafe", Severity.ERROR,
+                    f"{cert.describe()}; the plan overflows at its own "
+                    f"microbatch count ({cert.detail})",
+                    device=device,
+                    hint="repack with a smaller capacity fraction or "
+                         "shrink the microbatch group",
+                )
+            else:
+                yield Diagnostic(
+                    f"parametric/{kind}-ceiling", Severity.INFO,
+                    f"{cert.describe()}; safe as built, ceiling at "
+                    f"N = {n - 1} ({cert.detail})",
+                    device=device,
+                )

@@ -113,6 +113,9 @@ class BaselineScheme:
 
     name = "baseline"
     reactive = True
+    #: Justified analyzer exceptions for this scheme's schedules; each is
+    #: surfaced (not silenced) by the analyzer as a waived INFO finding.
+    waivers: tuple = ()
 
     def __init__(
         self,

@@ -97,6 +97,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed one defect into the plan first, to see the analyzer "
              "catch it (exits nonzero)",
     )
+    check.add_argument(
+        "--races", action="store_true",
+        help="run only the happens-before race passes (plus any other "
+             "pass-subset flags given)",
+    )
+    check.add_argument(
+        "--lifetime", action="store_true",
+        help="run only the tensor-lifetime passes (plus any other "
+             "pass-subset flags given)",
+    )
+    check.add_argument(
+        "--parametric", action="store_true",
+        help="run only the parametric capacity certificates (plus any "
+             "other pass-subset flags given)",
+    )
+    check.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the diagnostics, per-pass outcomes and "
+             "parametric capacity certificates as JSON",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -196,26 +216,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(report.describe())
         return 0
     if args.command == "check":
-        harmony = _harmony(args)
-        plan = harmony.plan()
-        options = plan.options.schedule_options()
-        if args.inject:
-            options, expected = inject(args.inject, plan.graph, options)
-            print(f"injected defect {args.inject!r} "
-                  f"(should trip {expected})")
-        host_state = (
-            harmony.model.model_state_bytes
-            + harmony.minibatch * harmony.model.sample_bytes
-        )
-        report = analyze(
-            plan.graph,
-            server=harmony.server,
-            options=options,
-            host_state_bytes=host_state,
-            prefetch=options.prefetch,
-        )
-        print(report.describe())
-        return 0 if report.ok else 1
+        return _check(args)
     if args.command == "experiment":
         module = importlib.import_module(
             f"repro.experiments.{EXPERIMENTS[args.name]}"
@@ -230,6 +231,97 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         return _bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _check(args: argparse.Namespace) -> int:
+    """The ``check`` subcommand: static verification, optional JSON."""
+    harmony = _harmony(args)
+    plan = harmony.plan()
+    options = plan.options.schedule_options()
+    if args.inject:
+        options, expected = inject(args.inject, plan.graph, options)
+        print(f"injected defect {args.inject!r} "
+              f"(should trip {', '.join(expected)})")
+    subset = [
+        name
+        for name, wanted in (
+            ("hb", args.races),
+            ("lifetime", args.lifetime),
+            ("parametric", args.parametric),
+        )
+        if wanted
+    ]
+    report = analyze(
+        plan.graph,
+        server=harmony.server,
+        options=options,
+        host_state_bytes=harmony.host_state_bytes,
+        host_input_bytes=harmony.minibatch * harmony.model.sample_bytes,
+        prefetch=options.prefetch,
+        passes=subset or None,
+    )
+    print(report.describe())
+    certificates = []
+    if not subset or "parametric" in subset:
+        from repro.analysis import capacity_certificates
+        from repro.analysis.context import AnalysisContext
+
+        certificates = capacity_certificates(AnalysisContext(
+            plan.graph,
+            server=harmony.server,
+            options=options,
+            host_state_bytes=harmony.host_state_bytes,
+            host_input_bytes=harmony.minibatch * harmony.model.sample_bytes,
+            prefetch=options.prefetch,
+        ))
+        for cert in certificates:
+            print(f"  certificate: {cert.describe()}")
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "model": args.model,
+            "mode": args.mode,
+            "gpus": args.gpus,
+            "minibatch": args.minibatch,
+            "injected": args.inject,
+            "passes": [
+                {
+                    "name": result.name,
+                    "skipped": result.skipped,
+                    "suppressed": result.suppressed,
+                    "diagnostics": len(result.diagnostics),
+                }
+                for result in report.results
+            ],
+            "diagnostics": [
+                {
+                    "rule": d.rule,
+                    "severity": d.severity.name.lower(),
+                    "message": d.message,
+                    "task": d.task,
+                    "device": d.device,
+                    "move": d.move,
+                    "hint": d.hint,
+                }
+                for d in report.diagnostics
+            ],
+            "certificates": [
+                {
+                    **dataclasses.asdict(cert),
+                    "smallest_violating_n": cert.smallest_violating_n(),
+                    "safe_for_all": cert.safe_for_all,
+                }
+                for cert in certificates
+            ],
+            "ok": report.ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def _bench(args: argparse.Namespace) -> int:

@@ -404,6 +404,7 @@ class Harmony:
             server=self.server,
             options=self.options.schedule_options(),
             host_state_bytes=host_state,
+            host_input_bytes=self.minibatch * self.model.sample_bytes,
             prefetch=self.options.prefetch,
         )
         if self.options.analyze == "strict":

@@ -1,0 +1,260 @@
+"""Project-invariant AST linter: ``python -m repro.lint``.
+
+The reproduction's determinism and certification guarantees rest on
+conventions no general-purpose linter knows about.  This module walks
+the AST of every file under ``src/repro`` and enforces them:
+
+- **seeded randomness only** (``rng/stdlib-random``,
+  ``rng/unseeded-numpy``): the stdlib ``random`` module may be imported
+  only inside :mod:`repro.common.rng` (every other draw must derive from
+  the package-wide seeding scheme), and ``numpy.random`` may be touched
+  only through ``default_rng(seed)`` / ``Generator`` / ``SeedSequence``
+  -- never the unseeded module-level API;
+- **no wall-clock reads** (``time/wall-clock``): simulated time is the
+  only clock; ``time.time``/``time.monotonic`` and ``datetime.now``
+  kin would leak host time into supposedly deterministic runs
+  (``time.perf_counter`` stays legal -- the bench harness measures real
+  durations on purpose);
+- **frozen trace events** (``trace/unfrozen-dataclass``): every
+  dataclass in ``repro/trace/events.py`` must be ``frozen=True`` --
+  recorded events are shared, hashed and replayed, so mutation is
+  corruption;
+- **integer-exact capacity arithmetic** (``exact/float-arithmetic``):
+  the capacity certification paths (``analysis/capacity.py``,
+  ``analysis/parametric.py``) must stay in integer arithmetic -- no
+  true division, no ``float()`` -- so certificates are exact at any
+  byte count instead of drifting past 2**53.  Formatting inside
+  f-strings is exempt (messages may render GiB).
+
+Exit status is the number of findings (0 = clean), and each finding
+prints as ``path:line: rule: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+#: The one module allowed to import stdlib ``random``.
+RNG_MODULE = Path("repro") / "common" / "rng.py"
+
+#: Files whose arithmetic must stay integer-exact.
+INTEGER_EXACT = (
+    Path("repro") / "analysis" / "capacity.py",
+    Path("repro") / "analysis" / "parametric.py",
+)
+
+#: File whose dataclasses must all be frozen.
+FROZEN_DATACLASSES = Path("repro") / "trace" / "events.py"
+
+#: Wall-clock reads on the stdlib ``time`` module (perf_counter is the
+#: sanctioned way to measure real durations, so it is not listed).
+_WALL_CLOCK_TIME = ("time", "time_ns", "monotonic", "monotonic_ns")
+_WALL_CLOCK_DATETIME = ("now", "utcnow", "today")
+
+#: The only sanctioned entry points into numpy.random.
+_NUMPY_RANDOM_OK = ("default_rng", "Generator", "SeedSequence", "BitGenerator")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a plain name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, rel_path: Path):
+        self.rel_path = rel_path
+        self.findings: list[Finding] = []
+        self.in_fstring = 0
+        self.integer_exact = rel_path in INTEGER_EXACT
+        self.allow_stdlib_random = rel_path == RNG_MODULE
+        self.check_frozen = rel_path == FROZEN_DATACLASSES
+
+    def flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            self.rel_path, getattr(node, "lineno", 0), rule, message,
+        ))
+
+    # -- seeded randomness -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" and not self.allow_stdlib_random:
+                self.flag(
+                    node, "rng/stdlib-random",
+                    "stdlib random imported outside repro.common.rng; "
+                    "derive draws from repro.common.rng.seeded_rng",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "random" and not self.allow_stdlib_random:
+            self.flag(
+                node, "rng/stdlib-random",
+                "stdlib random imported outside repro.common.rng; "
+                "derive draws from repro.common.rng.seeded_rng",
+            )
+        if module in ("numpy.random", "np.random"):
+            for alias in node.names:
+                if alias.name not in _NUMPY_RANDOM_OK:
+                    self.flag(
+                        node, "rng/unseeded-numpy",
+                        f"numpy.random.{alias.name} bypasses the seeded "
+                        "Generator API; use default_rng(seed)",
+                    )
+        self.generic_visit(node)
+
+    # -- calls: numpy.random, wall clocks, float() -------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if len(chain) >= 2 and chain[-2] == "random" and chain[0] in (
+            "np", "numpy"
+        ):
+            name = chain[-1]
+            if name not in _NUMPY_RANDOM_OK:
+                self.flag(
+                    node, "rng/unseeded-numpy",
+                    f"numpy.random.{name}() draws from unseeded global "
+                    "state; use default_rng(seed)",
+                )
+            elif name == "default_rng" and not (node.args or node.keywords):
+                self.flag(
+                    node, "rng/unseeded-numpy",
+                    "default_rng() without a seed is entropy-seeded; "
+                    "pass the run's seed",
+                )
+        if len(chain) == 2 and chain[0] == "time" and chain[1] in (
+            _WALL_CLOCK_TIME
+        ):
+            self.flag(
+                node, "time/wall-clock",
+                f"time.{chain[1]}() reads the wall clock; simulated "
+                "time is the only clock (perf_counter is allowed for "
+                "benchmarks)",
+            )
+        if chain and chain[-1] in _WALL_CLOCK_DATETIME and "datetime" in (
+            chain[0], chain[-2] if len(chain) >= 2 else ""
+        ):
+            self.flag(
+                node, "time/wall-clock",
+                f"{'.'.join(chain)}() reads the wall clock; pass "
+                "timestamps in explicitly",
+            )
+        if (
+            self.integer_exact
+            and not self.in_fstring
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            self.flag(
+                node, "exact/float-arithmetic",
+                "float() in an integer-exact capacity path; certificates "
+                "must not round past 2**53 bytes",
+            )
+        self.generic_visit(node)
+
+    # -- integer-exact arithmetic ------------------------------------------------
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        self.in_fstring += 1
+        self.generic_visit(node)
+        self.in_fstring -= 1
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            self.integer_exact
+            and not self.in_fstring
+            and isinstance(node.op, ast.Div)
+        ):
+            self.flag(
+                node, "exact/float-arithmetic",
+                "true division in an integer-exact capacity path; use "
+                "// (or format inside an f-string)",
+            )
+        self.generic_visit(node)
+
+    # -- frozen trace events -----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.check_frozen:
+            for decorator in node.decorator_list:
+                if self._is_unfrozen_dataclass(decorator):
+                    self.flag(
+                        node, "trace/unfrozen-dataclass",
+                        f"dataclass {node.name!r} in trace/events.py "
+                        "must be frozen=True; recorded events are "
+                        "shared and replayed",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_unfrozen_dataclass(decorator: ast.AST) -> bool:
+        if isinstance(decorator, ast.Name):
+            return decorator.id == "dataclass"
+        if isinstance(decorator, ast.Call):
+            chain = _attr_chain(decorator.func)
+            if not chain or chain[-1] != "dataclass":
+                return False
+            for kw in decorator.keywords:
+                if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                    return kw.value.value is not True
+            return True  # dataclass(...) without frozen=True
+        return False
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    rel = path.relative_to(root)
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rel, exc.lineno or 0, "parse/syntax-error",
+                        str(exc))]
+    checker = _Checker(rel)
+    checker.visit(tree)
+    return checker.findings
+
+
+def lint_tree(root: Path) -> Iterator[Finding]:
+    """Lint every Python file under ``root`` (a ``src`` directory)."""
+    for path in sorted(root.rglob("*.py")):
+        yield from lint_file(path, root)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    findings = list(lint_tree(root))
+    for finding in findings:
+        print(finding.describe())
+    checked = len(list(root.rglob("*.py")))
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"repro.lint: {checked} file(s) under {root} -- {status}")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

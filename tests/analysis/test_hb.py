@@ -1,0 +1,133 @@
+"""The static happens-before relation and race detection, on hand-built graphs."""
+
+from repro.analysis import analyze, build_happens_before
+from repro.analysis.context import AnalysisContext
+from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
+
+MB = 2**20
+
+
+def task(tid, kind=TaskKind.FWD, device=0, layers=(0, 0), **kw):
+    return Task(tid=tid, kind=kind, first_layer=layers[0],
+                last_layer=layers[1], device=device, microbatches=(1,), **kw)
+
+
+def graph_of(*tasks, n_devices=2):
+    graph = TaskGraph(mode="test", n_devices=n_devices)
+    for t in tasks:
+        graph.add(t)
+    return graph
+
+
+def hb_of(*tasks, n_devices=2):
+    return build_happens_before(
+        AnalysisContext(graph_of(*tasks, n_devices=n_devices))
+    )
+
+
+class TestHappensBefore:
+    def test_intra_task_lifecycle_chain(self):
+        hb = hb_of(task(0))
+        assert hb.happens_before(("F", 0), ("C", 0))
+        assert hb.happens_before(("C", 0), ("O", 0))
+        assert hb.happens_before(("F", 0), ("O", 0))  # transitive
+        assert not hb.happens_before(("O", 0), ("F", 0))
+
+    def test_host_channel_dependency_waits_on_flush(self):
+        producer = task(0, device=0)
+        producer.outs.append(Move(TensorKind.Y, MB, Channel.MSG))
+        consumer = task(1, device=1)
+        consumer.ins.append(Move(TensorKind.X, MB, Channel.SWAP, src_task=0))
+        hb = hb_of(producer, consumer)
+        assert hb.happens_before(("O", 0), ("F", 1))
+
+    def test_local_dependency_waits_on_compute_not_flush(self):
+        producer = task(0)
+        producer.outs.append(Move(TensorKind.Y, MB, Channel.MSG))
+        consumer = task(1)
+        consumer.ins.append(Move(TensorKind.Y, MB, Channel.LOCAL, src_task=0))
+        hb = hb_of(producer, consumer)
+        assert hb.happens_before(("C", 0), ("F", 1))
+        # The consumer does not wait for the producer's host flush.
+        assert not hb.happens_before(("O", 0), ("F", 1))
+
+    def test_compute_fifo_orders_same_device_tasks(self):
+        hb = hb_of(task(0), task(1))
+        assert hb.happens_before(("C", 0), ("C", 1))
+        # ...but their fetch phases share no stream and stay unordered.
+        assert not hb.ordered(("F", 0), ("F", 1))
+
+    def test_cross_device_tasks_are_unordered(self):
+        hb = hb_of(task(0, device=0), task(1, device=1))
+        assert not hb.ordered(("C", 0), ("C", 1))
+
+    def test_cpu_offloaded_tasks_skip_the_compute_fifo(self):
+        hb = hb_of(task(0, kind=TaskKind.UPD, on_cpu=True),
+                   task(1, kind=TaskKind.UPD, on_cpu=True))
+        assert not hb.ordered(("C", 0), ("C", 1))
+
+    def test_cycle_reported_as_cyclic_not_ordered(self):
+        a, b = task(0), task(1)
+        a.ins.append(Move(TensorKind.Y, MB, Channel.MSG, src_task=1))
+        b.ins.append(Move(TensorKind.Y, MB, Channel.MSG, src_task=0))
+        hb = hb_of(a, b)
+        assert hb.cyclic
+        assert not hb.happens_before(("C", 0), ("C", 1))
+
+
+class TestRacePass:
+    def run_hb(self, *tasks, n_devices=2):
+        return analyze(graph_of(*tasks, n_devices=n_devices), passes=("hb",))
+
+    def test_unordered_cpu_updates_race_waw(self):
+        report = self.run_hb(
+            task(0, kind=TaskKind.UPD, on_cpu=True),
+            task(1, kind=TaskKind.UPD, on_cpu=True),
+        )
+        assert report.has("hb/waw-race")
+
+    def test_explicitly_ordered_updates_are_clean(self):
+        first = task(0, kind=TaskKind.UPD, on_cpu=True)
+        second = task(1, kind=TaskKind.UPD, on_cpu=True)
+        second.ins.append(Move(TensorKind.W, 0, Channel.LOCAL, src_task=0))
+        report = self.run_hb(first, second)
+        assert report.ok and not report.diagnostics
+
+    def test_write_unordered_with_earlier_read_is_war(self):
+        reader = task(0)
+        reader.ins.append(Move(TensorKind.W, MB, Channel.SWAP))
+        writer = task(1, kind=TaskKind.UPD, on_cpu=True)
+        report = self.run_hb(reader, writer)
+        [diag] = report.by_rule("hb/war-race")
+        assert "weights" in diag.message
+
+    def test_read_unordered_with_earlier_write_is_rw(self):
+        writer = task(0, kind=TaskKind.UPD, on_cpu=True)
+        reader = task(1)
+        reader.ins.append(Move(TensorKind.W, MB, Channel.SWAP))
+        report = self.run_hb(writer, reader)
+        assert report.has("hb/rw-race")
+
+    def test_disjoint_layer_spans_do_not_race(self):
+        reader = task(0, layers=(1, 1))
+        reader.ins.append(Move(TensorKind.W, MB, Channel.SWAP))
+        writer = task(1, kind=TaskKind.UPD, on_cpu=True, layers=(0, 0))
+        report = self.run_hb(reader, writer)
+        assert report.ok and not report.diagnostics
+
+    def test_gradient_buffers_are_not_shared_state(self):
+        # Per-replica DW buffers are private: unordered writes are fine.
+        a = task(0, kind=TaskKind.BWD, device=0)
+        a.outs.append(Move(TensorKind.DW, MB, Channel.MSG))
+        b = task(1, kind=TaskKind.BWD, device=1)
+        b.outs.append(Move(TensorKind.DW, MB, Channel.MSG))
+        report = self.run_hb(a, b)
+        assert report.ok and not report.diagnostics
+
+    def test_cyclic_graph_defers_to_deadlock_pass(self):
+        a = task(0, kind=TaskKind.UPD, on_cpu=True)
+        b = task(1, kind=TaskKind.UPD, on_cpu=True)
+        a.ins.append(Move(TensorKind.W, 0, Channel.LOCAL, src_task=1))
+        b.ins.append(Move(TensorKind.W, 0, Channel.LOCAL, src_task=0))
+        report = self.run_hb(a, b)
+        assert not report.diagnostics  # deadlock pass owns cycle reporting

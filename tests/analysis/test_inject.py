@@ -15,15 +15,19 @@ def toy_plan(options):
 
 
 @pytest.mark.parametrize("defect", sorted(INJECTIONS))
-def test_each_injected_defect_trips_exactly_its_rule(defect):
+def test_each_injected_defect_trips_exactly_its_rules(defect):
     options = HarmonyOptions(mode="pp")
     server, plan = toy_plan(options)
+    harmony = Harmony("toy-transformer", server, 16, options=options)
     sched_options, expected = inject(defect, plan.graph, options.schedule_options())
     report = analyze(
         plan.graph, server=server, options=sched_options,
+        host_state_bytes=harmony.host_state_bytes,
         prefetch=sched_options.prefetch,
     )
-    assert {d.rule for d in report.errors} == {expected}, report.describe()
+    # Zero false negatives (every named rule fires) *and* zero
+    # collateral findings (nothing else does).
+    assert {d.rule for d in report.errors} == set(expected), report.describe()
 
 
 def test_unknown_defect_rejected():

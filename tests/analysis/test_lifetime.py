@@ -1,0 +1,105 @@
+"""The tensor-lifetime lattice pass, on hand-built graphs."""
+
+from repro.analysis import analyze
+from repro.core.types import Channel, Move, Task, TaskGraph, TaskKind, TensorKind
+
+MB = 2**20
+
+
+def task(tid, kind=TaskKind.FWD, device=0, layers=(0, 0), **kw):
+    return Task(tid=tid, kind=kind, first_layer=layers[0],
+                last_layer=layers[1], device=device, microbatches=(1,), **kw)
+
+
+def run_lifetime(*tasks, n_devices=2):
+    graph = TaskGraph(mode="test", n_devices=n_devices)
+    for t in tasks:
+        graph.add(t)
+    return analyze(graph, passes=("lifetime",))
+
+
+class TestUseBeforeFetch:
+    def test_local_move_with_no_producer(self):
+        t = task(0)
+        t.ins.append(Move(TensorKind.X, MB, Channel.LOCAL))
+        report = run_lifetime(t)
+        [diag] = report.by_rule("lifetime/use-before-fetch")
+        assert diag.task == 0 and diag.device == 0
+
+    def test_swap_fetch_without_producer_is_not_this_rule(self):
+        # Host fetches with no src_task are legal entry points (weights).
+        t = task(0)
+        t.ins.append(Move(TensorKind.W, MB, Channel.SWAP))
+        report = run_lifetime(t)
+        assert report.ok and not report.diagnostics
+
+    def test_zero_byte_local_ordering_edge_is_fine(self):
+        t = task(0)
+        t.ins.append(Move(TensorKind.DW, 0, Channel.LOCAL))
+        report = run_lifetime(t)
+        assert report.ok and not report.diagnostics
+
+
+class TestUseAfterEvict:
+    def test_third_group_between_producer_and_consumer(self):
+        producer = task(0, kind=TaskKind.FWD)
+        interloper = task(1, kind=TaskKind.BWD)
+        consumer = task(2, kind=TaskKind.FWD)
+        consumer.ins.append(Move(TensorKind.Y, MB, Channel.LOCAL, src_task=0))
+        report = run_lifetime(producer, interloper, consumer)
+        [diag] = report.by_rule("lifetime/use-after-evict")
+        assert "t1" in diag.message
+
+    def test_adjacent_producer_and_consumer_are_clean(self):
+        producer = task(0, kind=TaskKind.FWD)
+        consumer = task(1, kind=TaskKind.BWD)
+        consumer.ins.append(Move(TensorKind.Y, MB, Channel.LOCAL, src_task=0))
+        report = run_lifetime(producer, consumer)
+        assert report.ok and not report.diagnostics
+
+    def test_intervening_task_of_consumer_group_keeps_window(self):
+        producer = task(0, kind=TaskKind.FWD)
+        same_group = task(1, kind=TaskKind.BWD)
+        consumer = task(2, kind=TaskKind.BWD)
+        consumer.ins.append(Move(TensorKind.Y, MB, Channel.LOCAL, src_task=0))
+        report = run_lifetime(producer, same_group, consumer)
+        assert report.ok and not report.diagnostics
+
+    def test_cross_device_producer_is_channel_pass_territory(self):
+        producer = task(0, device=0)
+        consumer = task(1, device=1)
+        consumer.ins.append(Move(TensorKind.Y, MB, Channel.LOCAL, src_task=0))
+        report = run_lifetime(producer, consumer)
+        assert report.ok and not report.diagnostics
+
+
+class TestDoubleRelease:
+    def test_two_updates_own_the_same_slice(self):
+        report = run_lifetime(
+            task(0, kind=TaskKind.UPD),
+            task(1, kind=TaskKind.UPD),
+        )
+        [diag] = report.by_rule("lifetime/double-release")
+        assert diag.task == 1
+
+    def test_per_device_ownership_does_not_clash(self):
+        # dp mode: each replica updates its own whole-model copy.
+        report = run_lifetime(
+            task(0, kind=TaskKind.UPD, device=0),
+            task(1, kind=TaskKind.UPD, device=1),
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_partial_layer_overlap_still_clashes(self):
+        report = run_lifetime(
+            task(0, kind=TaskKind.UPD, layers=(0, 2)),
+            task(1, kind=TaskKind.UPD, layers=(2, 4)),
+        )
+        assert report.has("lifetime/double-release")
+
+    def test_disjoint_layer_slices_are_clean(self):
+        report = run_lifetime(
+            task(0, kind=TaskKind.UPD, layers=(0, 1)),
+            task(1, kind=TaskKind.UPD, layers=(2, 3)),
+        )
+        assert report.ok and not report.diagnostics

@@ -34,8 +34,8 @@ def graph_of(*tasks, n_devices=2, mode="test"):
 class TestRegistry:
     def test_all_passes_registered(self):
         assert set(registered_passes()) == {
-            "structure", "deadlock", "dataflow", "capacity", "channel",
-            "ablation",
+            "structure", "deadlock", "dataflow", "hb", "lifetime",
+            "capacity", "parametric", "channel", "ablation",
         }
 
     def test_structural_passes_need_no_context(self):
@@ -48,6 +48,7 @@ class TestRegistry:
         skipped = {r.name: r.skipped for r in report.results if r.skipped}
         assert skipped == {
             "capacity": "no server spec",
+            "parametric": "no server spec",
             "ablation": "no schedule options",
         }
 

@@ -1,0 +1,159 @@
+"""The project-invariant linter: each rule fires on the bad idiom only."""
+
+from pathlib import Path
+
+import repro.lint as lint
+from repro.lint import lint_file, lint_tree, main
+
+
+def run(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return [f.rule for f in lint_file(path, tmp_path)]
+
+
+class TestStdlibRandom:
+    def test_import_random_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/thing.py", "import random\n")
+        assert rules == ["rng/stdlib-random"]
+
+    def test_from_random_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/thing.py",
+                    "from random import choice\n")
+        assert rules == ["rng/stdlib-random"]
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        rules = run(tmp_path, "repro/common/rng.py", "import random\n")
+        assert rules == []
+
+
+class TestNumpyRandom:
+    def test_unseeded_module_call_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/numeric/x.py",
+                    "import numpy as np\nx = np.random.rand(3)\n")
+        assert rules == ["rng/unseeded-numpy"]
+
+    def test_entropy_seeded_default_rng_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/numeric/x.py",
+                    "import numpy as np\nrng = np.random.default_rng()\n")
+        assert rules == ["rng/unseeded-numpy"]
+
+    def test_seeded_default_rng_ok(self, tmp_path):
+        rules = run(tmp_path, "repro/numeric/x.py",
+                    "import numpy as np\nrng = np.random.default_rng(7)\n")
+        assert rules == []
+
+    def test_generator_method_draws_are_ok(self, tmp_path):
+        # rng.random() on a seeded Generator is the sanctioned idiom.
+        rules = run(tmp_path, "repro/numeric/x.py",
+                    "def f(rng):\n    return rng.random()\n")
+        assert rules == []
+
+    def test_from_numpy_random_import_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/numeric/x.py",
+                    "from numpy.random import rand\n")
+        assert rules == ["rng/unseeded-numpy"]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/x.py",
+                    "import time\nt = time.time()\n")
+        assert rules == ["time/wall-clock"]
+
+    def test_monotonic_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/x.py",
+                    "import time\nt = time.monotonic()\n")
+        assert rules == ["time/wall-clock"]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        rules = run(tmp_path, "repro/perf/x.py",
+                    "import time\nt = time.perf_counter()\n")
+        assert rules == []
+
+    def test_datetime_now_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/x.py",
+                    "from datetime import datetime\nt = datetime.now()\n")
+        assert rules == ["time/wall-clock"]
+
+
+class TestFrozenTraceEvents:
+    def test_unfrozen_dataclass_flagged(self, tmp_path):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class E:\n    x: int\n")
+        rules = run(tmp_path, "repro/trace/events.py", src)
+        assert rules == ["trace/unfrozen-dataclass"]
+
+    def test_frozen_false_flagged(self, tmp_path):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass(frozen=False)\n"
+               "class E:\n    x: int\n")
+        rules = run(tmp_path, "repro/trace/events.py", src)
+        assert rules == ["trace/unfrozen-dataclass"]
+
+    def test_frozen_true_ok(self, tmp_path):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass(frozen=True)\n"
+               "class E:\n    x: int\n")
+        rules = run(tmp_path, "repro/trace/events.py", src)
+        assert rules == []
+
+    def test_other_files_may_be_mutable(self, tmp_path):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class E:\n    x: int\n")
+        rules = run(tmp_path, "repro/runtime/metrics.py", src)
+        assert rules == []
+
+
+class TestIntegerExact:
+    def test_true_division_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/analysis/capacity.py",
+                    "def f(a, b):\n    return a / b\n")
+        assert rules == ["exact/float-arithmetic"]
+
+    def test_float_call_flagged(self, tmp_path):
+        rules = run(tmp_path, "repro/analysis/parametric.py",
+                    "def f(a):\n    return float(a)\n")
+        assert rules == ["exact/float-arithmetic"]
+
+    def test_fstring_formatting_exempt(self, tmp_path):
+        rules = run(tmp_path, "repro/analysis/capacity.py",
+                    "def f(a):\n    return f'{a / 2**30:.1f} GiB'\n")
+        assert rules == []
+
+    def test_floor_division_ok(self, tmp_path):
+        rules = run(tmp_path, "repro/analysis/parametric.py",
+                    "def f(a, b):\n    return a // b\n")
+        assert rules == []
+
+    def test_other_modules_may_divide(self, tmp_path):
+        rules = run(tmp_path, "repro/sim/engine.py",
+                    "def f(a, b):\n    return a / b\n")
+        assert rules == []
+
+
+class TestTreeAndMain:
+    def test_shipping_tree_is_clean(self):
+        src_root = Path(lint.__file__).resolve().parent.parent
+        assert list(lint_tree(src_root)) == []
+
+    def test_main_reports_and_counts(self, tmp_path, capsys):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "rng/stdlib-random" in out
+        assert "1 finding(s)" in out
+
+    def test_main_clean_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "good.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        rules = run(tmp_path, "repro/broken.py", "def f(:\n")
+        assert rules == ["parse/syntax-error"]
