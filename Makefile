@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke trace-smoke bench-smoke bench-baseline
+.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke trace-smoke bench-smoke bench-baseline service-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -52,6 +52,18 @@ bench-smoke:
 # perf-relevant changes; commit the result).
 bench-baseline:
 	python scripts/perf_gate.py --run --repeats 5 --update
+
+# Service smoke: a seeded 500-request chaos storm through the hardened
+# planning service, plus a no-chaos storm.  Exits nonzero if any request
+# is left unresolved, if two identically-seeded runs disagree on any
+# metric (bit-identity), or if more than 35% of the storm is shed.
+# Machine-readable outcomes land in service-*.json.
+service-smoke:
+	python -m repro.cli serve --requests 500 --seed 0 --chaos \
+	    --intensity 1.0 --check-determinism --max-shed-rate 0.35 \
+	    --json service-chaos.json
+	python -m repro.cli serve --requests 200 --seed 1 \
+	    --check-determinism --max-shed-rate 0.10 --json service-clean.json
 
 # Record a traced run (clean + chaos), invariant-check it, and export
 # Perfetto JSON; exits nonzero if the trace breaks a runtime invariant.

@@ -38,6 +38,17 @@ echo "== chaos smoke =="
 python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3 \
     || failed=1
 
+echo "== service smoke =="
+# Seeded request storm through the hardened planning service: chaos and
+# clean; exits nonzero on an unresolved request, a determinism mismatch
+# or an excessive shed rate.
+python -m repro.cli serve --requests 500 --seed 0 --chaos --intensity 1.0 \
+    --check-determinism --max-shed-rate 0.35 --json service-chaos.json \
+    || failed=1
+python -m repro.cli serve --requests 200 --seed 1 \
+    --check-determinism --max-shed-rate 0.10 --json service-clean.json \
+    || failed=1
+
 echo "== trace smoke =="
 # Record, invariant-check, and export a clean and a chaos trace; the CLI
 # exits nonzero if the recorded timeline violates a runtime invariant.

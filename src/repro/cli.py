@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands:
+Subcommands:
 
 - ``plan``  -- run the Scheduler for a model and print the searched
   configuration (the Table 1 view);
@@ -24,6 +24,14 @@ Four subcommands:
   benchmark suite and write a schema-valid ``BENCH_<date>.json`` report;
   ``scripts/perf_gate.py`` compares such reports against the committed
   baseline and fails on regressions.
+- ``serve`` -- drive a seeded scripted request storm through the hardened
+  planning service (:mod:`repro.service`): admission control, deadlines,
+  retry/backoff, circuit breaker and the graceful-degradation ladder,
+  optionally under service-level chaos.  Prints the per-outcome counts
+  and latency quantiles; ``--json`` writes the deterministic metrics
+  snapshot, ``--check-determinism`` runs the storm twice and fails on
+  any metric mismatch, ``--max-shed-rate`` turns an excessive shed rate
+  into a nonzero exit.
 
 Examples::
 
@@ -38,6 +46,8 @@ Examples::
     python -m repro.cli chaos gpt2 --minibatch 16 --gpus 4 --seeds 5 \\
         --devices-lost 1 --iterations 3 --json chaos-elastic.json
     python -m repro.cli bench --suite smoke --repeats 3 --out BENCH_smoke.json
+    python -m repro.cli serve --requests 500 --chaos --intensity 1.0 \\
+        --check-determinism --max-shed-rate 0.35 --json serve.json
 """
 
 from __future__ import annotations
@@ -192,6 +202,49 @@ def _build_parser() -> argparse.ArgumentParser:
                             "serial; >1 forks a worker pool)")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="report path (default BENCH_<date>.json)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a seeded request storm through the planning service",
+    )
+    serve.add_argument("--requests", type=int, default=200,
+                       help="storm size (default 200)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload + chaos + jitter seed (default 0)")
+    serve.add_argument("--duration", type=float, default=120.0,
+                       help="virtual seconds the arrivals span "
+                            "(default 120)")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="distinct tenants in the storm (default 4)")
+    serve.add_argument("--deadline", type=float, default=45.0,
+                       help="per-request deadline budget in virtual "
+                            "seconds (default 45)")
+    serve.add_argument("--execute-fraction", type=float, default=0.0,
+                       help="fraction of requests that also run one "
+                            "simulated iteration (default 0)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="service worker processes (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admission queue bound (default 16)")
+    serve.add_argument("--quota", type=int, default=8,
+                       help="per-tenant in-flight quota, 0 = unlimited "
+                            "(default 8)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="inject service-level chaos (slow planners, "
+                            "planner crashes, poisoned requests)")
+    serve.add_argument("--intensity", type=float, default=1.0,
+                       help="chaos intensity when --chaos is given "
+                            "(default 1.0)")
+    serve.add_argument("--check-determinism", action="store_true",
+                       help="serve the storm twice on fresh services and "
+                            "fail unless the metrics snapshots are "
+                            "identical")
+    serve.add_argument("--max-shed-rate", type=float, default=None,
+                       help="exit nonzero if the shed fraction exceeds "
+                            "this bound")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write the deterministic metrics snapshot "
+                            "and per-request outcomes as JSON")
     return parser
 
 
@@ -230,6 +283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _chaos(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "serve":
+        return _serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -340,6 +395,94 @@ def _bench(args: argparse.Namespace) -> int:
     write_report(report, out)
     print(f"wrote {out}")
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: one seeded storm through the service.
+
+    Everything the storm produces is a deterministic function of the
+    seed, so ``--check-determinism`` (serve twice on fresh services,
+    compare the full metrics snapshots) is a real bit-identity check,
+    not a flakiness lottery.  The exit code is nonzero when determinism
+    fails, when ``--max-shed-rate`` is exceeded, or when the service
+    leaves a request unresolved (which raises out of ``run``).
+    """
+    import json as json_module
+
+    from repro.service import (
+        PlannerService,
+        ServiceChaosSpec,
+        ServiceConfig,
+        ServiceFaultPlan,
+        scripted_workload,
+    )
+
+    requests = scripted_workload(
+        args.requests,
+        seed=args.seed,
+        duration=args.duration,
+        tenants=args.tenants,
+        deadline=args.deadline,
+        execute_fraction=args.execute_fraction,
+    )
+    spec = (ServiceChaosSpec.chaos(args.intensity) if args.chaos
+            else ServiceChaosSpec.none())
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.quota,
+    )
+
+    def storm() -> PlannerService:
+        service = PlannerService(
+            config,
+            chaos=ServiceFaultPlan(spec, seed=args.seed),
+            seed=args.seed,
+        )
+        service.run(requests)
+        return service
+
+    service = storm()
+    metrics = service.metrics
+    print(f"served {args.requests} request(s), seed {args.seed}"
+          + (f", chaos intensity {args.intensity} ({spec.describe()})"
+             if args.chaos else ", no chaos"))
+    print(service.run_metrics().describe())
+
+    failures = []
+    if args.check_determinism:
+        again = storm().metrics.snapshot()
+        if again == metrics.snapshot():
+            print("determinism check: two runs bit-identical")
+        else:
+            failures.append("determinism check FAILED: metrics snapshots "
+                            "differ between two identically-seeded runs")
+    if args.max_shed_rate is not None:
+        if metrics.shed_rate <= args.max_shed_rate:
+            print(f"shed rate {metrics.shed_rate:.3f} within bound "
+                  f"{args.max_shed_rate}")
+        else:
+            failures.append(f"shed rate {metrics.shed_rate:.3f} exceeds "
+                            f"bound {args.max_shed_rate}")
+    if args.json:
+        payload = {
+            "requests": args.requests,
+            "seed": args.seed,
+            "chaos": spec.describe() if args.chaos else None,
+            "intensity": args.intensity if args.chaos else 0.0,
+            "metrics": metrics.snapshot(),
+            "breaker": service.breaker.describe(),
+            "results": [r.describe() for r in service.results],
+            "ok": not failures,
+            "failures": failures,
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    for failure in failures:
+        print(failure)
+    return 1 if failures else 0
 
 
 def _trace(args: argparse.Namespace) -> int:

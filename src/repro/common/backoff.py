@@ -1,0 +1,116 @@
+"""Centralized retry/backoff policy: one formula for every retry loop.
+
+Before this module, each retrying subsystem carried its own backoff
+constants: the runtime executor's transfer-retry loop hard-wired
+``base * factor ** attempt`` through :class:`~repro.faults.policy.
+RecoveryPolicy`, and the fault-tolerant runner restarted iterations
+back-to-back with no wait at all.  The planning service adds two more
+retry sites (planner attempts, circuit-breaker cooldowns), which is the
+point where "every module rolls its own exponential" stops scaling.
+
+This module is now the single source of the formula:
+
+- :func:`exponential` -- the deterministic schedule
+  ``base * factor ** attempt``, bit-identical to what the executor has
+  always computed (regression-pinned by the golden traces);
+- :class:`BackoffPolicy` -- the frozen, validated policy object: base,
+  factor, cap, retry budget, and *seeded jitter*.  Jitter decorrelates
+  retry storms (every queued request retrying at the same instant is
+  exactly the thundering herd the service must not produce), but it is
+  derived from :mod:`repro.common.rng`'s stateless hash draws -- a
+  ``(seed, labels, attempt)`` tuple always yields the same delay, so a
+  jittered run is still reproducible from its seed alone.  With
+  ``jitter=0`` (the default everywhere pre-existing code migrated to
+  this module) the delay is *exactly* :func:`exponential`'s value: the
+  executor's timing is bit-identical to the pre-refactor runtime.
+
+Kept free of package imports beyond :mod:`repro.common.rng` so the
+executor, the faults runner and the service can all use it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import spread
+
+__all__ = [
+    "DEFAULT_TRANSFER_RETRIES",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BACKOFF_FACTOR",
+    "exponential",
+    "BackoffPolicy",
+]
+
+#: The executor's historical transfer-retry constants, extracted from
+#: :class:`repro.faults.policy.RecoveryPolicy` (which now re-imports
+#: them, so the defaults cannot drift apart).
+DEFAULT_TRANSFER_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 0.002
+DEFAULT_BACKOFF_FACTOR = 2.0
+
+
+def exponential(attempt: int, base: float,
+                factor: float = DEFAULT_BACKOFF_FACTOR) -> float:
+    """Deterministic backoff before retry ``attempt + 1`` (0-indexed).
+
+    Exactly ``base * factor ** attempt`` -- the formula the runtime
+    executor has used since the fault subsystem landed; the golden-trace
+    suite pins its values, so this function must never change shape.
+    """
+    return base * factor ** attempt
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A retry budget plus its (optionally jittered) delay schedule.
+
+    ``delay(attempt, *labels)`` is the virtual-time wait before retry
+    ``attempt + 1``.  With ``jitter == 0`` it equals
+    :func:`exponential` bit-for-bit.  With ``jitter > 0`` the
+    deterministic delay is scaled by a seeded factor in
+    ``[1 - jitter, 1 + jitter)`` drawn statelessly from
+    ``(seed, "backoff", *labels, attempt)`` -- order-independent and
+    reproducible, like every other draw in the package.  ``cap``
+    bounds the delay (0 = uncapped) so a deep retry chain cannot wait
+    past any deadline budget.
+    """
+
+    max_retries: int = DEFAULT_TRANSFER_RETRIES
+    base: float = DEFAULT_BACKOFF_BASE
+    factor: float = DEFAULT_BACKOFF_FACTOR
+    jitter: float = 0.0
+    cap: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base < 0:
+            raise ValueError("base must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.cap < 0:
+            raise ValueError("cap must be >= 0")
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when retry ``attempt`` is past the budget (0-indexed)."""
+        return attempt >= self.max_retries
+
+    def delay(self, attempt: int, *labels: object) -> float:
+        """Virtual seconds to wait before retry ``attempt + 1``.
+
+        ``labels`` scope the jitter draw (request id, device, stream --
+        whatever identifies the retrying actor) so concurrent retriers
+        decorrelate instead of marching in lockstep.
+        """
+        value = exponential(attempt, self.base, self.factor)
+        if self.jitter > 0.0:
+            swing = spread(self.seed, "backoff", *labels, attempt)
+            value *= 1.0 + self.jitter * swing
+        if self.cap > 0.0:
+            value = min(value, self.cap)
+        return value

@@ -6,8 +6,15 @@ migration moves real bytes over real links, so the escalation from
 a per-device strike counter: each iteration boundary at which a device
 is observed degraded beyond the policy's ``rebind_threshold`` (and could
 not be rescued by a cheap 1:1 rebind) adds a strike; a healthy
-observation clears the counter.  Only after ``replan_patience``
-*consecutive* strikes does the monitor condemn the device.
+observation clears the counter.  Only after ``patience`` *consecutive*
+strikes does the monitor condemn the device.  ``patience=0`` disables
+the hysteresis entirely: the first degraded observation condemns.
+
+Observations carry an optional *window* identifier (the runner passes
+the iteration number): two degraded observations inside the same window
+-- e.g. an iteration that restarts and re-examines the same boundary --
+count as **one** strike, not two, so a single bad iteration can never
+burn more than one unit of patience however many attempts it takes.
 
 Permanent GPU *loss* bypasses the monitor entirely: dead hardware has no
 prospect of recovery, so the runner escalates immediately.
@@ -15,30 +22,63 @@ prospect of recovery, so the runner escalates immediately.
 
 from __future__ import annotations
 
+from typing import Hashable, Optional
+
 
 class DeviceHealthMonitor:
     """Strike-counting hysteresis for degraded (but alive) devices."""
 
     def __init__(self, patience: int):
-        if patience < 1:
-            raise ValueError(f"patience must be >= 1, got {patience}")
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
         self.patience = patience
         self._strikes: dict[int, int] = {}
+        #: the window whose strike a device most recently earned, so a
+        #: second degraded observation in the same window is a no-op
+        self._window: dict[int, Hashable] = {}
         #: devices already condemned (strike count reached patience);
         #: they stay condemned until :meth:`forget` -- a device does not
         #: redeem itself by looking healthy after we decided to drop it.
         self._condemned: set[int] = set()
 
-    def observe(self, device: int, degraded: bool) -> bool:
-        """Record one iteration-boundary observation; True if condemned."""
+    def observe(self, device: int, degraded: bool,
+                window: Optional[Hashable] = None) -> bool:
+        """Record one observation; True once the device is condemned.
+
+        ``window`` scopes the strike: repeated degraded observations
+        with the same window value add a single strike (an iteration
+        that restarts is still one iteration of evidence).  ``None``
+        (the default) treats every observation as a fresh window,
+        preserving the historical one-call-per-boundary behavior.
+        """
         if device in self._condemned:
             return True
+        same_window = (
+            window is not None and self._window.get(device) == window
+        )
         if not degraded:
-            self._strikes.pop(device, None)
+            # A healthy observation opens a new window of evidence and
+            # clears the streak -- unless it lands in the same window
+            # that already earned a strike (a restart attempt that got
+            # lucky does not erase the boundary's strike).
+            if not same_window:
+                self._strikes.pop(device, None)
+                self._window.pop(device, None)
             return False
+        if same_window:
+            # Second degradation in the same window: already counted.
+            return self._condemn_if_due(device)
         strikes = self._strikes.get(device, 0) + 1
         self._strikes[device] = strikes
-        if strikes >= self.patience:
+        if window is not None:
+            self._window[device] = window
+        return self._condemn_if_due(device)
+
+    def _condemn_if_due(self, device: int) -> bool:
+        # patience=0 ("no hysteresis") behaves like patience=1: one
+        # degraded observation is still required -- the monitor never
+        # condemns a device it has only seen healthy.
+        if self._strikes.get(device, 0) >= max(self.patience, 1):
             self._condemned.add(device)
             return True
         return False
@@ -52,4 +92,5 @@ class DeviceHealthMonitor:
     def forget(self, device: int) -> None:
         """Drop all state for ``device`` (it left the active set)."""
         self._strikes.pop(device, None)
+        self._window.pop(device, None)
         self._condemned.discard(device)

@@ -8,6 +8,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.backoff import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_FACTOR,
+    DEFAULT_TRANSFER_RETRIES,
+    BackoffPolicy,
+)
+
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
@@ -23,11 +30,20 @@ class RecoveryPolicy:
     """
 
     #: retries per transfer before escalating (fallback or fatal)
-    max_transfer_retries: int = 3
+    max_transfer_retries: int = DEFAULT_TRANSFER_RETRIES
     #: virtual seconds of backoff before the first transfer retry
-    backoff_base: float = 0.002
+    backoff_base: float = DEFAULT_BACKOFF_BASE
     #: multiplier applied to the backoff per further retry
-    backoff_factor: float = 2.0
+    backoff_factor: float = DEFAULT_BACKOFF_FACTOR
+    #: seeded jitter fraction on every backoff delay (0 = the exact
+    #: historical exponential schedule, bit-identical to pre-backoff-
+    #: extraction runs; > 0 decorrelates concurrent retriers)
+    backoff_jitter: float = 0.0
+    #: seed for the jitter draws (only consulted when jitter > 0)
+    backoff_seed: int = 0
+    #: virtual seconds of backoff before the first iteration restart
+    #: (0 = restart immediately, the historical behavior)
+    restart_backoff_base: float = 0.0
     #: degrade an exhausted p2p transfer to a host-staged swap route
     p2p_fallback: bool = True
     #: compute retries per task attempt before the fault is fatal
@@ -43,7 +59,8 @@ class RecoveryPolicy:
     elastic: bool = True
     #: consecutive degraded iteration boundaries before a *degraded*
     #: (still alive) device triggers a re-plan -- hysteresis so one
-    #: straggle never pays a migration; a *lost* device re-plans at once
+    #: straggle never pays a migration; a *lost* device re-plans at
+    #: once.  0 disables the hysteresis (the first strike condemns)
     replan_patience: int = 2
     #: elastic re-plans allowed per run (each loses a device, so this is
     #: naturally bounded by the GPU count as well)
@@ -60,13 +77,42 @@ class RecoveryPolicy:
             raise ValueError("backoff_base must be >= 0")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.restart_backoff_base < 0:
+            raise ValueError("restart_backoff_base must be >= 0")
         if self.rebind_threshold < 1.0:
             raise ValueError("rebind_threshold must be >= 1")
-        if self.replan_patience < 1:
-            raise ValueError("replan_patience must be >= 1")
+        if self.replan_patience < 0:
+            raise ValueError("replan_patience must be >= 0")
         if self.max_replans < 0:
             raise ValueError("max_replans must be >= 0")
 
-    def backoff(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt + 1`` (0-indexed)."""
-        return self.backoff_base * self.backoff_factor ** attempt
+    def transfer_backoff(self) -> BackoffPolicy:
+        """The transfer-retry schedule as a shared BackoffPolicy."""
+        return BackoffPolicy(
+            max_retries=self.max_transfer_retries,
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            jitter=self.backoff_jitter,
+            seed=self.backoff_seed,
+        )
+
+    def restart_backoff(self) -> BackoffPolicy:
+        """The iteration-restart schedule (zero-delay by default)."""
+        return BackoffPolicy(
+            max_retries=self.max_iteration_restarts,
+            base=self.restart_backoff_base,
+            factor=self.backoff_factor,
+            jitter=self.backoff_jitter,
+            seed=self.backoff_seed,
+        )
+
+    def backoff(self, attempt: int, *labels: object) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-indexed).
+
+        Delegates to :mod:`repro.common.backoff`; with the default
+        ``backoff_jitter=0`` the value is bit-identical to the
+        historical inline ``base * factor ** attempt``.
+        """
+        return self.transfer_backoff().delay(attempt, *labels)

@@ -314,7 +314,8 @@ class FaultTolerantRunner:
         condemned: set[int] = set()
         if iteration > 0 and attempt == 0:
             for device in sorted(used - dead):
-                if monitor.observe(device, device in degraded):
+                if monitor.observe(device, device in degraded,
+                                   window=iteration):
                     condemned.add(device)
         if not stranded_lost and not condemned:
             return current
@@ -420,6 +421,16 @@ class FaultTolerantRunner:
                     recovery.restarts += 1
                     self._mark("restart", f"iteration{iteration}",
                                attempt=attempt, cause=type(exc).__name__)
+                    # Restart backoff rides the shared schedule
+                    # (repro.common.backoff); the default zero-delay
+                    # policy restarts immediately, bit-identical to the
+                    # pre-extraction runner.
+                    pause = self.policy.restart_backoff().delay(
+                        attempt, "restart", iteration)
+                    if pause > 0:
+                        total_time += pause
+                        if self.trace is not None:
+                            self.trace.advance(pause)
                     rescue(iteration, attempt + 1)
                     continue
                 break

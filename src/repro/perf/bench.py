@@ -11,6 +11,13 @@ Measures, per ``model x mode`` case:
 - **trace_seconds / trace_overhead_seconds** -- the same run with the
   trace recorder attached, and its cost over the untraced run.
 
+Plus one report-level ``service`` section: the wall clock of serving a
+seeded request storm through :class:`repro.service.PlannerService`
+(``serve_seconds`` / ``requests_per_second``) alongside the storm's
+deterministic virtual-time facts (cache hit rate, shed rate, p50/p99
+virtual latency, breaker trips) so two reports can be checked to have
+measured the same storm.
+
 Every timing is the **minimum over ``repeats``** (the standard
 low-noise wall-clock estimator) and each repeat uses a fresh
 :class:`~repro.core.harmony.Harmony` so memoized plans never leak
@@ -156,6 +163,63 @@ def _time_case(case: BenchCase, repeats: int,
     }
 
 
+#: The storm every report's ``service`` section measures.  Fixed here
+#: (not configurable) so service numbers are comparable across reports.
+SERVICE_STORM_REQUESTS = 200
+SERVICE_STORM_SEED = 0
+SERVICE_STORM_INTENSITY = 1.0
+
+
+def _time_service(repeats: int) -> dict[str, Any]:
+    """Serve the fixed seeded chaos storm; returns the ``service`` record.
+
+    ``serve_seconds`` is the min over ``repeats`` of the wall clock of
+    ``PlannerService.run`` on a fresh service (fresh cache, fresh
+    breaker) each repeat; everything else is a deterministic fact of the
+    storm and identical across repeats.
+    """
+    from repro.service import (
+        PlannerService, ServiceChaosSpec, ServiceConfig, ServiceFaultPlan,
+        scripted_workload,
+    )
+
+    requests = scripted_workload(
+        SERVICE_STORM_REQUESTS, seed=SERVICE_STORM_SEED
+    )
+    chaos = ServiceFaultPlan(
+        ServiceChaosSpec.chaos(SERVICE_STORM_INTENSITY),
+        seed=SERVICE_STORM_SEED,
+    )
+    serve_s = float("inf")
+    metrics = None
+    for _ in range(repeats):
+        service = PlannerService(
+            ServiceConfig(), chaos=chaos, seed=SERVICE_STORM_SEED
+        )
+        t0 = time.perf_counter()
+        service.run(requests)
+        serve_s = min(serve_s, time.perf_counter() - t0)
+        metrics = service.metrics
+
+    assert metrics is not None
+    factor = injected_slowdown()
+    serve_s *= factor
+    return {
+        "requests": SERVICE_STORM_REQUESTS,
+        "seed": SERVICE_STORM_SEED,
+        "chaos_intensity": SERVICE_STORM_INTENSITY,
+        "serve_seconds": serve_s,
+        "requests_per_second": (
+            SERVICE_STORM_REQUESTS / serve_s if serve_s > 0 else 0.0
+        ),
+        "cache_hit_rate": metrics.cache_hit_rate,
+        "shed_rate": metrics.shed_rate,
+        "p50_latency_virtual": metrics.p50_latency,
+        "p99_latency_virtual": metrics.p99_latency,
+        "breaker_trips": metrics.breaker_trips,
+    }
+
+
 def run_bench(suite: str = "smoke", repeats: int = 3,
               search_workers: int = 1,
               cases: Optional[Sequence[BenchCase]] = None) -> dict[str, Any]:
@@ -177,6 +241,7 @@ def run_bench(suite: str = "smoke", repeats: int = 3,
         "cases": [
             _time_case(case, repeats, search_workers) for case in picked
         ],
+        "service": _time_service(repeats),
     }
     check_report(report)
     return report
@@ -219,6 +284,17 @@ def render_report(report: dict[str, Any]) -> str:
             f"{case['trace_seconds']:.3f}s",
             str(case["n_feasible"]),
         ))
+    svc = report.get("service")
+    if svc:
+        rows.append(
+            f"service storm: {svc['requests']} requests in "
+            f"{svc['serve_seconds']:.3f}s wall "
+            f"({svc['requests_per_second']:.0f} req/s), "
+            f"cache hit {svc['cache_hit_rate'] * 100:.0f}%, "
+            f"shed {svc['shed_rate'] * 100:.1f}%, "
+            f"p99 latency {svc['p99_latency_virtual']:.2f}s virtual, "
+            f"{svc['breaker_trips']} breaker trip(s)"
+        )
     return "\n".join(rows)
 
 

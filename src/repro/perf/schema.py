@@ -18,7 +18,36 @@ from __future__ import annotations
 
 from typing import Any
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: The service-throughput benchmark: one seeded request storm against
+#: :class:`repro.service.PlannerService` (virtual latency/shed numbers
+#: are deterministic; ``serve_seconds`` is the wall clock of simulating
+#: the storm, the one number a hot-path regression moves).
+_SERVICE_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "additionalProperties": False,
+    "required": [
+        "requests", "seed", "chaos_intensity", "serve_seconds",
+        "requests_per_second", "cache_hit_rate", "shed_rate",
+        "p50_latency_virtual", "p99_latency_virtual", "breaker_trips",
+    ],
+    "properties": {
+        "requests": {"type": "integer", "minimum": 1},
+        "seed": {"type": "integer", "minimum": 0},
+        "chaos_intensity": {"type": "number", "minimum": 0},
+        # Wall seconds to serve the whole storm, min over repeats, after
+        # any injected slowdown multiplier.
+        "serve_seconds": {"type": "number", "minimum": 0},
+        "requests_per_second": {"type": "number", "minimum": 0},
+        # Deterministic virtual-time facts of the seeded storm.
+        "cache_hit_rate": {"type": "number", "minimum": 0},
+        "shed_rate": {"type": "number", "minimum": 0},
+        "p50_latency_virtual": {"type": "number", "minimum": 0},
+        "p99_latency_virtual": {"type": "number", "minimum": 0},
+        "breaker_trips": {"type": "integer", "minimum": 0},
+    },
+}
 
 _CASE_SCHEMA: dict[str, Any] = {
     "type": "object",
@@ -60,7 +89,7 @@ BENCH_SCHEMA: dict[str, Any] = {
     "additionalProperties": False,
     "required": [
         "schema_version", "suite", "repeats", "calibration_seconds",
-        "perf_disabled", "search_workers", "host", "cases",
+        "perf_disabled", "search_workers", "host", "cases", "service",
     ],
     "properties": {
         "schema_version": {"type": "integer", "enum": [SCHEMA_VERSION]},
@@ -84,6 +113,7 @@ BENCH_SCHEMA: dict[str, Any] = {
             },
         },
         "cases": {"type": "array", "items": _CASE_SCHEMA},
+        "service": _SERVICE_SCHEMA,
     },
 }
 

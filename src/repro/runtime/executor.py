@@ -389,7 +389,8 @@ class Executor:
                         trace.instant("retry", "transfer", self.sim.now,
                                       device=device, lane=stream, label=label,
                                       attempt=attempt)
-                    backoff = self.policy.backoff(attempt)
+                    backoff = self.policy.backoff(attempt, device, stream,
+                                                  label)
                     if backoff > 0:
                         yield self.sim.timeout(backoff)
                     attempt += 1

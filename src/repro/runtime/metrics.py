@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.service.metrics import ServiceMetrics
     from repro.trace.analytics import TraceAnalytics
 
 
@@ -177,6 +178,11 @@ class RunMetrics:
     #: exact interval arithmetic over the trace instead of aggregate
     #: counters.
     trace: Optional["TraceAnalytics"] = None
+    #: Service-level counters, present when these metrics describe a
+    #: :class:`repro.service.PlannerService` run (mode ``"service"``:
+    #: ``minibatch`` is the request count, ``iteration_time`` the
+    #: makespan, so ``throughput`` reads requests per virtual second).
+    service: Optional["ServiceMetrics"] = None
 
     @property
     def throughput(self) -> float:
@@ -252,5 +258,9 @@ class RunMetrics:
         if self.trace is not None:
             lines.extend(
                 "  " + line for line in self.trace.describe().splitlines()
+            )
+        if self.service is not None:
+            lines.extend(
+                "  " + line for line in self.service.describe().splitlines()
             )
         return "\n".join(lines)

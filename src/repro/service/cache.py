@@ -1,0 +1,164 @@
+"""Content-addressed plan cache with near-spec (stale) lookup.
+
+The cache key is a digest over everything that determines a plan bit-
+for-bit: the *model content* (layer count, parameter bytes, optimizer
+state, sample bytes -- not just the name), the *server spec* (GPU count,
+per-GPU and host specs, topology), the minibatch, and every search +
+schedule setting of :class:`~repro.core.harmony.HarmonyOptions`.  Two
+requests with the same fingerprints share a plan across tenants and
+across time; a request differing in *any* search or schedule setting
+misses (the cross-request correctness tests enumerate these).  The one
+deliberate exception: ``search_workers`` is normalized out of the key,
+because the worker-pool search is bit-identical to the serial search by
+construction (see ``SearchSettings.workers``) -- a plan searched with 4
+workers *is* the serial plan.
+
+For the degradation ladder the cache also indexes plans by *family* --
+(model fingerprint, minibatch, options fingerprint) without the server
+-- so a breaker-open request can be served a **near-spec** plan: a
+cached plan for the same workload on *fewer* devices, relabeled onto the
+requested device range via
+:func:`repro.elastic.rebind.relabel_graph`.
+
+Eviction is LRU over a fixed capacity; evicted plans leave their family
+index too, so a near-spec lookup can never resurrect an evicted plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Optional
+
+from repro.core.harmony import HarmonyOptions
+from repro.hardware.server import ServerSpec
+from repro.models.spec import ModelSpec
+
+
+def _digest(*parts: object) -> str:
+    raw = "|".join(str(p) for p in parts).encode()
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def model_fingerprint(model: ModelSpec) -> str:
+    """Content address of a model: renaming a model cannot fake a hit,
+    and two identical architectures under different names share one."""
+    return _digest(
+        "model", model.n_layers, model.n_parameters, model.weight_bytes,
+        model.model_state_bytes, model.sample_bytes,
+    )
+
+
+def server_fingerprint(server: ServerSpec) -> str:
+    """Digest of the full server spec (GPU/host/topology dataclass
+    reprs are deterministic field-order renderings)."""
+    return _digest(
+        "server", server.n_gpus, server.gpu, server.host, server.topology
+    )
+
+
+def options_fingerprint(options: HarmonyOptions) -> str:
+    """Digest of every plan-relevant option.
+
+    Spans the full search settings (u_fmax/u_bmax, capacity fraction,
+    exhaustive, equi_fb) and schedule options (mode, grouping, jit, p2p,
+    offload_optimizer, prefetch) plus the seed; ``workers`` is pinned to
+    1 first because the forked search is bit-identical to the serial one.
+    """
+    settings = replace(options.search_settings(), workers=1)
+    return _digest(
+        "options", settings, options.schedule_options(), options.seed
+    )
+
+
+def plan_key(model: ModelSpec, server: ServerSpec, minibatch: int,
+             options: HarmonyOptions) -> str:
+    """The content-addressed cache key for one planning request."""
+    return _digest(
+        "plan", model_fingerprint(model), server_fingerprint(server),
+        minibatch, options_fingerprint(options),
+    )
+
+
+def family_key(model: ModelSpec, minibatch: int,
+               options: HarmonyOptions) -> tuple:
+    """The near-spec grouping: same workload, any server size."""
+    return (model_fingerprint(model), minibatch,
+            options_fingerprint(options))
+
+
+class PlanCache:
+    """LRU plan cache plus the per-family near-spec index."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[str, Any] = OrderedDict()
+        #: family -> {key: n_gpus} for surviving entries
+        self._families: dict[tuple, dict[str, int]] = {}
+        #: key -> family, for eviction bookkeeping
+        self._member_family: dict[str, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Exact lookup; counts hit/miss and refreshes LRU order."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: str, plan: Any, *, family: Optional[tuple] = None,
+            n_gpus: Optional[int] = None) -> None:
+        """Insert (or refresh) a plan; evicts LRU past capacity."""
+        if key in self._plans:
+            self._plans.move_to_end(key)
+            self._plans[key] = plan
+            return
+        self._plans[key] = plan
+        if family is not None and n_gpus is not None:
+            self._families.setdefault(family, {})[key] = n_gpus
+            self._member_family[key] = family
+        if self.capacity is not None and len(self._plans) > self.capacity:
+            evicted, _ = self._plans.popitem(last=False)
+            self.evictions += 1
+            fam = self._member_family.pop(evicted, None)
+            if fam is not None:
+                members = self._families.get(fam)
+                if members is not None:
+                    members.pop(evicted, None)
+                    if not members:
+                        self._families.pop(fam, None)
+
+    def near(self, family: tuple, gpus: int,
+             exclude: str = "") -> Optional[tuple[int, str, Any]]:
+        """Best near-spec entry: the largest cached plan of this family
+        with ``n_gpus <= gpus`` (its graph relabels injectively onto the
+        requested device range; a *larger* plan never fits).  Returns
+        ``(n_gpus, key, plan)`` or None.  ``exclude`` skips the exact
+        key already probed, and ties break on the lexically smallest key
+        so the choice is deterministic.
+        """
+        members = self._families.get(family)
+        if not members:
+            return None
+        candidates = sorted(
+            (-n, key) for key, n in members.items()
+            if key != exclude and n <= gpus and key in self._plans
+        )
+        if not candidates:
+            return None
+        n_gpus, key = -candidates[0][0], candidates[0][1]
+        self.stale_hits += 1
+        self._plans.move_to_end(key)
+        return n_gpus, key, self._plans[key]

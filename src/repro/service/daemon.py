@@ -1,0 +1,577 @@
+"""The planning daemon: admission -> queue -> workers -> degradation.
+
+:class:`PlannerService` runs a pool of worker processes on the discrete-
+event simulator (:mod:`repro.sim.engine`): requests arrive on a seeded
+schedule, pass admission control (tenant quota, bounded queue), wait in
+FIFO order, and are served by the first free worker.  All *timing* is
+virtual and deterministic; the *plans themselves* are real -- a cache
+miss runs the actual Decomposer/Profiler/Scheduler stack (wall clock,
+memoized per content key), so a served plan is exactly what
+``repro plan`` would print.
+
+Serving walks the degradation ladder, cheapest-and-best first:
+
+1. **exact cache hit** -- the content-addressed key matches a plan
+   served before (any tenant, any time): serve it for ``cache_cost``;
+2. **fresh plan** -- if the circuit breaker admits it: nominal virtual
+   cost scaled by the model's depth, inflated by chaos slowdowns,
+   retried with seeded-jitter backoff after chaos crashes.  An attempt
+   that cannot finish inside the request's deadline is abandoned
+   *before* the time is spent and counts as a planner timeout (these
+   trip the breaker, exactly like crashes);
+3. **stale/near-spec plan** -- a cached plan of the same workload family
+   on fewer devices, relabeled onto the requested device range via
+   :func:`repro.elastic.rebind.relabel_graph` (late binding makes the
+   schedule valid under the new labeling);
+4. **baseline plan** -- a :class:`~repro.baselines.GpipeSwapPlanner`
+   schedule: pessimistic but always plannable;
+5. **shed** -- with a typed reason (deadline expired, or breaker open
+   with degradation disabled/exhausted).
+
+Every admitted request terminates in exactly one
+:class:`~repro.service.request.Outcome`; the simulator's unhandled-
+failure guarantee means a bug here surfaces as a typed exception, never
+a hang or a silently dropped request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Generator, Optional
+
+from repro.common.backoff import BackoffPolicy
+from repro.common.errors import SimulationError
+from repro.core.harmony import Harmony, HarmonyOptions, HarmonyPlan
+from repro.elastic.rebind import relabel_graph
+from repro.hardware.server import ServerSpec
+from repro.models.zoo import build_model
+from repro.service.breaker import CircuitBreaker, DEFAULT_COOLDOWN
+from repro.service.cache import PlanCache, family_key, plan_key
+from repro.service.chaos import ServiceFaultPlan
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import Outcome, PlanRequest, RequestResult
+from repro.sim.engine import SimEvent, Simulator
+
+
+def _default_server_factory(n_gpus: int) -> ServerSpec:
+    from repro.experiments.common import server_for
+
+    return server_for(n_gpus)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every service tunable; defaults give a hardened 2-worker daemon."""
+
+    #: concurrent planner workers
+    workers: int = 2
+    #: waiting requests beyond this are shed (bounded backpressure)
+    queue_limit: int = 16
+    #: unresolved requests (queued + in service) per tenant; 0 = no quota
+    tenant_quota: int = 8
+    #: virtual budget for requests that carry no deadline
+    default_deadline: float = 30.0
+    #: nominal virtual seconds of planner work per fresh plan (scaled by
+    #: model depth; chaos slowdowns multiply it further)
+    plan_cost: float = 2.0
+    #: virtual seconds to serve an exact cache hit
+    cache_cost: float = 0.02
+    #: virtual seconds to relabel + serve a near-spec stale plan
+    stale_cost: float = 0.10
+    #: virtual seconds to produce + serve the baseline plan
+    baseline_cost: float = 0.50
+    #: virtual seconds to detect and reject a poisoned request
+    detect_cost: float = 0.01
+    #: retry schedule for crashed planner attempts (seeded jitter
+    #: decorrelates a storm of retrying requests)
+    retry: BackoffPolicy = BackoffPolicy(
+        max_retries=2, base=0.5, factor=2.0, jitter=0.25, cap=4.0
+    )
+    #: consecutive planner failures/timeouts that trip the breaker
+    breaker_threshold: int = 3
+    #: breaker cooldown schedule (exponential -> non-increasing flaps)
+    breaker_cooldown: BackoffPolicy = DEFAULT_COOLDOWN
+    #: False turns rungs 3-4 off: breaker-open misses shed immediately
+    degradation: bool = True
+    #: plan-cache capacity (None = unbounded)
+    cache_capacity: Optional[int] = 64
+    #: simulator watchdog: callbacks before a stuck service aborts
+    max_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.tenant_quota < 0:
+            raise ValueError(
+                f"tenant_quota must be >= 0, got {self.tenant_quota}"
+            )
+        if self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+        for name in ("plan_cost", "cache_cost", "stale_cost",
+                     "baseline_cost", "detect_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class StalePlan:
+    """A near-spec cached plan rebound onto the requested device range."""
+
+    source: HarmonyPlan = field(repr=False)
+    graph: Any = field(repr=False)
+    source_gpus: int = 0
+    gpus: int = 0
+
+
+_EPS = 1e-9
+
+
+class PlannerService:
+    """The hardened planning daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        options: Optional[HarmonyOptions] = None,
+        chaos: Optional[ServiceFaultPlan] = None,
+        trace: Optional[Any] = None,
+        server_factory: Callable[[int], ServerSpec] = _default_server_factory,
+        seed: int = 0,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.options = options if options is not None else HarmonyOptions()
+        self.chaos = chaos if chaos is not None else ServiceFaultPlan()
+        self.seed = seed
+        self.server_factory = server_factory
+        self.sim = Simulator()
+        self.sim.trace = trace
+        self.trace = trace
+        retry = self.config.retry
+        if retry.jitter > 0.0 and retry.seed == 0 and seed != 0:
+            # Bind the service seed into the retry jitter unless the
+            # config pinned its own; labels still decorrelate requests.
+            retry = replace(retry, seed=seed)
+        self.retry = retry
+        self.cache = PlanCache(self.config.cache_capacity)
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self.metrics = ServiceMetrics()
+        self.results: list[RequestResult] = []
+        self._queue: deque[tuple[PlanRequest, float]] = deque()
+        self._wakeup: SimEvent = self.sim.event("svc.wakeup")
+        self._remaining = 0
+        self._tenant_load: dict[str, int] = {}
+        self._servers: dict[int, ServerSpec] = {}
+        #: plan key -> the Harmony that built it (for run requests)
+        self._harmonys: dict[str, Harmony] = {}
+        #: plan key -> memoized simulated iteration seconds
+        self._run_seconds: dict[str, float] = {}
+        #: (model fp, gpus, minibatch) -> memoized baseline plan
+        self._baselines: dict[tuple, Any] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, requests: list[PlanRequest]) -> list[RequestResult]:
+        """Serve ``requests`` to terminal resolution; returns results by
+        request id.  Raises :class:`SimulationError` if any request
+        fails to resolve (the watchdog makes that a loud failure)."""
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        self._remaining = len(ordered)
+        if ordered:
+            self.sim.process(self._arrivals(ordered), name="svc.arrivals")
+            for wid in range(self.config.workers):
+                self.sim.process(self._worker(wid), name=f"svc.worker{wid}")
+        self.sim.run(max_steps=self.config.max_steps)
+        if len(self.results) != len(ordered):
+            raise SimulationError(
+                f"service run ended with {len(ordered) - len(self.results)} "
+                f"request(s) unresolved"
+            )
+        self.metrics.cache_hits = self.cache.hits
+        self.metrics.cache_misses = self.cache.misses
+        self.metrics.breaker_trips = self.breaker.trips
+        self.metrics.breaker_flaps = self.breaker.flaps
+        return sorted(self.results, key=lambda r: r.request.rid)
+
+    def run_metrics(self) -> "Any":
+        """The service run as a :class:`~repro.runtime.metrics.RunMetrics`
+        (throughput = requests per virtual second over the makespan),
+        with :attr:`~repro.runtime.metrics.RunMetrics.service` attached
+        so ``describe()`` folds the service section in."""
+        from repro.runtime.metrics import RunMetrics
+
+        metrics = RunMetrics(
+            mode="service",
+            minibatch=self.metrics.requests,
+            iteration_time=self.metrics.makespan,
+        )
+        metrics.service = self.metrics
+        return metrics
+
+    # -- simulation processes ----------------------------------------------------
+
+    def _arrivals(self, ordered: list[PlanRequest]) -> Generator:
+        for request in ordered:
+            delay = request.arrival - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self._submit(request)
+
+    def _worker(self, wid: int) -> Generator:
+        while True:
+            if not self._queue:
+                if self._remaining <= 0:
+                    return
+                yield self._wakeup
+                continue
+            request, enqueued = self._queue.popleft()
+            yield from self._serve(wid, request, enqueued)
+
+    # -- admission ---------------------------------------------------------------
+
+    def _submit(self, request: PlanRequest) -> None:
+        self.metrics.requests += 1
+        now = self.sim.now
+        if self.trace is not None:
+            self.trace.instant(
+                "service", f"arrive req{request.rid}", now,
+                lane="service", tenant=request.tenant,
+            )
+        quota = self.config.tenant_quota
+        if quota and self._tenant_load.get(request.tenant, 0) >= quota:
+            self._resolve(
+                request, Outcome.SHED_QUOTA,
+                detail=f"tenant {request.tenant} at quota {quota}",
+                admitted=False,
+            )
+            return
+        if len(self._queue) >= self.config.queue_limit:
+            self._resolve(
+                request, Outcome.SHED_QUEUE_FULL,
+                detail=f"queue at limit {self.config.queue_limit}",
+                admitted=False,
+            )
+            return
+        self.metrics.admitted += 1
+        self._tenant_load[request.tenant] = \
+            self._tenant_load.get(request.tenant, 0) + 1
+        self._queue.append((request, now))
+        self.metrics.peak_queue_depth = max(
+            self.metrics.peak_queue_depth, len(self._queue)
+        )
+        self._wake()
+
+    def _wake(self) -> None:
+        fired, self._wakeup = self._wakeup, self.sim.event("svc.wakeup")
+        fired.succeed()
+
+    # -- serving -----------------------------------------------------------------
+
+    def _serve(self, wid: int, request: PlanRequest,
+               enqueued: float) -> Generator:
+        started = self.sim.now
+        wait = started - enqueued
+        budget = (request.deadline if request.deadline is not None
+                  else self.config.default_deadline)
+        deadline = request.arrival + budget
+
+        def fits(cost: float) -> bool:
+            return self.sim.now + cost <= deadline + _EPS
+
+        # Poisoned / malformed requests: cheap detection, typed failure,
+        # no breaker involvement (the planner did nothing wrong).
+        if self.chaos.poisoned(request.rid):
+            if self.config.detect_cost > 0:
+                yield self.sim.timeout(self.config.detect_cost)
+            self.metrics.chaos_poisoned += 1
+            self._resolve(
+                request, Outcome.FAILED_POISONED,
+                detail="malformed request rejected at validation",
+                wait=wait,
+            )
+            return
+        try:
+            model = build_model(request.model)
+        except (KeyError, ValueError) as exc:
+            if self.config.detect_cost > 0:
+                yield self.sim.timeout(self.config.detect_cost)
+            self._resolve(
+                request, Outcome.FAILED_POISONED, detail=str(exc), wait=wait,
+            )
+            return
+        server = self._server(request.gpus)
+        options = replace(self.options, mode=request.mode)
+        key = plan_key(model, server, request.minibatch, options)
+        family = family_key(model, request.minibatch, options)
+
+        # Rung 1: exact content-addressed cache hit.
+        plan = self.cache.get(key)
+        if plan is not None:
+            if fits(self.config.cache_cost):
+                yield self.sim.timeout(self.config.cache_cost)
+                yield from self._finish(
+                    request, Outcome.SERVED_CACHED, plan=plan, key=key,
+                    wait=wait, deadline=deadline,
+                )
+            else:
+                self._resolve(
+                    request, Outcome.TIMED_OUT,
+                    detail="deadline expired before the cached plan "
+                           "could be served",
+                    wait=wait, plan_key=key,
+                )
+            return
+
+        # Rung 2: fresh planning, behind the breaker.
+        attempts = 0
+        if self.breaker.allow(self.sim.now):
+            done, attempts = yield from self._plan_fresh(
+                request, model, server, options, key, family, deadline, wait,
+            )
+            if done:
+                return
+        elif self.trace is not None:
+            self.trace.instant(
+                "service", f"breaker_denied req{request.rid}", self.sim.now,
+                lane="service",
+            )
+
+        # Rungs 3-4: degraded service.
+        if self.config.degradation:
+            near = self.cache.near(family, request.gpus, exclude=key)
+            if near is not None and fits(self.config.stale_cost):
+                source_gpus, source_key, source = near
+                graph = relabel_graph(
+                    source.graph,
+                    {d: d for d in range(source.graph.n_devices)},
+                    n_devices=request.gpus,
+                )
+                yield self.sim.timeout(self.config.stale_cost)
+                self.metrics.stale_rebinds += 1
+                stale = StalePlan(
+                    source=source, graph=graph,
+                    source_gpus=source_gpus, gpus=request.gpus,
+                )
+                self._resolve(
+                    request, Outcome.DEGRADED_STALE,
+                    detail=f"reused {source_gpus}-gpu plan relabeled onto "
+                           f"{request.gpus} device(s)",
+                    wait=wait, plan=stale, plan_key=source_key,
+                    attempts=attempts,
+                )
+                return
+            if fits(self.config.baseline_cost):
+                baseline = self._baseline_plan(
+                    model, server, request.minibatch
+                )
+                if baseline is not None:
+                    yield self.sim.timeout(self.config.baseline_cost)
+                    self.metrics.baseline_plans += 1
+                    self._resolve(
+                        request, Outcome.DEGRADED_BASELINE,
+                        detail="gpipe-swap baseline plan",
+                        wait=wait, plan=baseline, attempts=attempts,
+                    )
+                    return
+
+        # Rung 5: shed, with the honest reason.  The deadline is the
+        # binding constraint when it has expired outright, or when the
+        # cheapest degraded rung no longer fits the remaining budget;
+        # otherwise the planner (breaker open, crashes, no plannable
+        # rung) is what failed the request.
+        cheapest = min(self.config.stale_cost, self.config.baseline_cost)
+        deadline_bound = self.sim.now + _EPS >= deadline or (
+            self.config.degradation and not fits(cheapest)
+        )
+        if deadline_bound:
+            self._resolve(
+                request, Outcome.TIMED_OUT,
+                detail="deadline expired before any rung could serve",
+                wait=wait, attempts=attempts,
+            )
+        else:
+            self._resolve(
+                request, Outcome.SHED_BREAKER,
+                detail="planner unavailable and degraded rungs "
+                       "exhausted or disabled",
+                wait=wait, attempts=attempts,
+            )
+
+    def _plan_fresh(self, request: PlanRequest, model: Any,
+                    server: ServerSpec, options: HarmonyOptions, key: str,
+                    family: tuple, deadline: float,
+                    wait: float) -> Generator:
+        """Fresh planning with chaos, deadline checks and seeded-backoff
+        retries.  Returns ``(resolved, attempts)``; ``resolved`` False
+        means the caller should fall down the degradation ladder."""
+        attempt = 0
+        nominal = self._plan_cost(model)
+        while True:
+            factor = self.chaos.slowdown(request.rid, attempt)
+            if factor > 1.0:
+                self.metrics.chaos_slowdowns += 1
+            duration = nominal * factor
+            if self.sim.now + duration > deadline + _EPS:
+                # Abandon before burning time we cannot afford: this is
+                # the planner timing out from the request's view.
+                self.metrics.planner_failures += 1
+                self.breaker.record_failure(self.sim.now)
+                if self.trace is not None:
+                    self.trace.instant(
+                        "service", f"planner_timeout req{request.rid}",
+                        self.sim.now, lane="service", attempt=attempt,
+                    )
+                return False, attempt + 1
+            yield self.sim.timeout(duration)
+            if self.chaos.crash(request.rid, attempt):
+                self.metrics.chaos_crashes += 1
+                self.metrics.planner_failures += 1
+                if self.trace is not None:
+                    self.trace.instant(
+                        "service", f"planner_crash req{request.rid}",
+                        self.sim.now, lane="service", attempt=attempt,
+                    )
+                if self.retry.exhausted(attempt):
+                    self.breaker.record_failure(self.sim.now)
+                    return False, attempt + 1
+                pause = self.retry.delay(attempt, "plan", request.rid)
+                if self.sim.now + pause > deadline + _EPS:
+                    self.breaker.record_failure(self.sim.now)
+                    return False, attempt + 1
+                self.metrics.retries += 1
+                yield self.sim.timeout(pause)
+                attempt += 1
+                continue
+            try:
+                harmony = Harmony(
+                    model, server, request.minibatch, options=options
+                )
+                plan = harmony.plan()
+            except Exception:
+                # Planner-side failure (infeasible config, scheduler
+                # error): terminal for the fresh rung.
+                self.metrics.planner_failures += 1
+                self.breaker.record_failure(self.sim.now)
+                return False, attempt + 1
+            self.breaker.record_success(self.sim.now)
+            self.cache.put(key, plan, family=family, n_gpus=request.gpus)
+            self._harmonys[key] = harmony
+            yield from self._finish(
+                request, Outcome.SERVED_FRESH, plan=plan, key=key,
+                wait=wait, deadline=deadline, attempts=attempt + 1,
+            )
+            return True, attempt + 1
+
+    def _finish(self, request: PlanRequest, outcome: Outcome, *, plan: Any,
+                key: str, wait: float, deadline: float,
+                attempts: int = 0) -> Generator:
+        """Resolve a served request, running one simulated iteration
+        first for run requests (when it fits the deadline)."""
+        detail = ""
+        run_seconds = 0.0
+        if request.execute:
+            seconds = self._iteration_seconds(key, plan)
+            if seconds > 0 and self.sim.now + seconds <= deadline + _EPS:
+                yield self.sim.timeout(seconds)
+                run_seconds = seconds
+                self.metrics.runs_executed += 1
+                self.metrics.run_virtual_seconds += seconds
+                detail = f"ran 1 iteration ({seconds:.3f}s simulated)"
+            else:
+                detail = "run skipped (deadline)"
+        self._resolve(
+            request, outcome, detail=detail, wait=wait, plan=plan,
+            plan_key=key, attempts=attempts, run_seconds=run_seconds,
+        )
+
+    # -- resolution --------------------------------------------------------------
+
+    def _resolve(self, request: PlanRequest, outcome: Outcome, *,
+                 detail: str = "", wait: float = 0.0,
+                 plan: Optional[Any] = None, plan_key: str = "",
+                 attempts: int = 0, admitted: bool = True,
+                 run_seconds: float = 0.0) -> None:
+        now = self.sim.now
+        latency = now - request.arrival
+        self.metrics.count(outcome)
+        if outcome.carries_plan:
+            self.metrics.latencies.append(latency)
+        if admitted:
+            load = self._tenant_load.get(request.tenant, 0)
+            if load > 0:
+                self._tenant_load[request.tenant] = load - 1
+        self.metrics.makespan = max(self.metrics.makespan, now)
+        self.results.append(RequestResult(
+            request=request, outcome=outcome, detail=detail,
+            resolved_at=now, latency=latency, wait=wait,
+            attempts=attempts, plan_key=plan_key, plan=plan,
+            run_seconds=run_seconds,
+        ))
+        if self.trace is not None:
+            self.trace.span(
+                "service", f"req{request.rid}", request.arrival, now,
+                lane="service", outcome=outcome.value,
+                tenant=request.tenant,
+            )
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._wake()
+
+    # -- plan production ---------------------------------------------------------
+
+    def _server(self, n_gpus: int) -> ServerSpec:
+        server = self._servers.get(n_gpus)
+        if server is None:
+            server = self.server_factory(n_gpus)
+            self._servers[n_gpus] = server
+        return server
+
+    def _plan_cost(self, model: Any) -> float:
+        """Nominal virtual planning cost, scaled by model depth."""
+        return self.config.plan_cost * (1.0 + model.n_layers / 32.0)
+
+    def _baseline_plan(self, model: Any, server: ServerSpec,
+                       minibatch: int) -> Optional[Any]:
+        """Memoized GPipe-swap baseline plan (None if even the baseline
+        cannot plan this request -- then the ladder sheds)."""
+        from repro.service.cache import model_fingerprint
+
+        key = (model_fingerprint(model), server.n_gpus, minibatch)
+        if key in self._baselines:
+            return self._baselines[key]
+        from repro.baselines import GpipeSwapPlanner
+
+        try:
+            plan = GpipeSwapPlanner(model, server, minibatch).plan()
+        except Exception:
+            plan = None
+        self._baselines[key] = plan
+        return plan
+
+    def _iteration_seconds(self, key: str, plan: Any) -> float:
+        """Memoized simulated iteration time of a served plan (run
+        requests).  The first run request per plan key pays one real
+        simulated execution; later ones reuse its virtual duration."""
+        if key in self._run_seconds:
+            return self._run_seconds[key]
+        harmony = self._harmonys.get(key)
+        seconds = 0.0
+        if harmony is not None:
+            report = harmony.run(plan=plan)
+            seconds = report.metrics.iteration_time
+        self._run_seconds[key] = seconds
+        return seconds

@@ -1,0 +1,187 @@
+"""Service-level metrics: admission, outcomes, breaker, latency quantiles.
+
+One :class:`ServiceMetrics` instance accumulates over a service run.
+Everything here is derived from virtual time and seeded draws, so two
+runs of the same workload + seed produce bit-identical snapshots --
+the storm regression test compares ``json.dumps(snapshot())`` across
+runs.  Latency quantiles use the nearest-rank method (deterministic, no
+interpolation) over served+degraded requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.service.request import Outcome
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and distributions for one service run."""
+
+    #: requests submitted (admitted + shed at the door)
+    requests: int = 0
+    #: requests that made it past admission control
+    admitted: int = 0
+    #: terminal outcome counts, keyed by :class:`Outcome` value
+    outcomes: dict[str, int] = field(default_factory=dict)
+    #: planner attempt retries (after a crashed attempt, before backoff)
+    retries: int = 0
+    #: planner attempts that failed (crash, infeasible) or timed out
+    planner_failures: int = 0
+    #: chaos deliveries, by kind
+    chaos_slowdowns: int = 0
+    chaos_crashes: int = 0
+    chaos_poisoned: int = 0
+    #: breaker lifecycle counts (mirrors the breaker's own counters)
+    breaker_trips: int = 0
+    breaker_flaps: int = 0
+    #: plan-cache traffic (folded from the cache at run end)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: degradation-ladder rungs actually used
+    stale_rebinds: int = 0
+    baseline_plans: int = 0
+    #: queue/backlog high-water marks
+    peak_queue_depth: int = 0
+    #: simulated training work executed for run requests
+    runs_executed: int = 0
+    run_virtual_seconds: float = 0.0
+    #: virtual time at which the last request resolved
+    makespan: float = 0.0
+    #: arrival->resolution virtual latencies of served+degraded requests
+    latencies: list[float] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------------
+
+    def count(self, outcome: Outcome) -> None:
+        self.outcomes[outcome.value] = self.outcomes.get(outcome.value, 0) + 1
+
+    def of(self, outcome: Outcome) -> int:
+        return self.outcomes.get(outcome.value, 0)
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def resolved(self) -> int:
+        return sum(self.outcomes.values())
+
+    def _group(self, group: str) -> int:
+        return sum(
+            n for value, n in self.outcomes.items()
+            if Outcome(value).group == group
+        )
+
+    @property
+    def served(self) -> int:
+        return self._group("served")
+
+    @property
+    def degraded(self) -> int:
+        return self._group("degraded")
+
+    @property
+    def shed(self) -> int:
+        return self._group("shed")
+
+    @property
+    def failed(self) -> int:
+        return self._group("failed")
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of served+degraded latency; 0.0 if none."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_quantile(0.99)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dict capturing *all* state (bit-identity tests
+        serialize this; two identical seeded runs must agree exactly)."""
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "served": self.served,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "planner_failures": self.planner_failures,
+            "chaos_slowdowns": self.chaos_slowdowns,
+            "chaos_crashes": self.chaos_crashes,
+            "chaos_poisoned": self.chaos_poisoned,
+            "breaker_trips": self.breaker_trips,
+            "breaker_flaps": self.breaker_flaps,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "stale_rebinds": self.stale_rebinds,
+            "baseline_plans": self.baseline_plans,
+            "peak_queue_depth": self.peak_queue_depth,
+            "runs_executed": self.runs_executed,
+            "run_virtual_seconds": self.run_virtual_seconds,
+            "makespan": self.makespan,
+            "shed_rate": self.shed_rate,
+            "p50_latency": self.p50_latency,
+            "p99_latency": self.p99_latency,
+            "latencies": list(self.latencies),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"service: {self.requests} request(s), {self.admitted} admitted; "
+            f"{self.served} served, {self.degraded} degraded, "
+            f"{self.shed} shed ({self.shed_rate * 100:.0f}%), "
+            f"{self.failed} failed",
+        ]
+        if self.outcomes:
+            detail = ", ".join(
+                f"{value}={n}" for value, n in sorted(self.outcomes.items())
+            )
+            lines.append(f"  outcomes: {detail}")
+        lines.append(
+            f"  cache: {self.cache_hits} hit(s) / {self.cache_misses} "
+            f"miss(es) ({self.cache_hit_rate * 100:.0f}%), "
+            f"{self.stale_rebinds} stale rebind(s), "
+            f"{self.baseline_plans} baseline plan(s)"
+        )
+        lines.append(
+            f"  planner: {self.retries} retr(ies), "
+            f"{self.planner_failures} failure(s); breaker "
+            f"{self.breaker_trips} trip(s), {self.breaker_flaps} flap(s); "
+            f"chaos {self.chaos_slowdowns} slow / {self.chaos_crashes} "
+            f"crash / {self.chaos_poisoned} poison"
+        )
+        lines.append(
+            f"  latency: p50 {self.p50_latency:.3f}s, "
+            f"p99 {self.p99_latency:.3f}s; peak queue "
+            f"{self.peak_queue_depth}; makespan {self.makespan:.3f}s"
+            + (f"; {self.runs_executed} run(s), "
+               f"{self.run_virtual_seconds:.3f}s simulated"
+               if self.runs_executed else "")
+        )
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Seeded scripted workloads: deterministic request storms.
+
+One seed pins the whole storm -- arrival times, tenants, model mix,
+modes, minibatches -- via :func:`repro.common.rng.seeded_rng`, so the
+acceptance storm ("two runs, bit-identical metrics") needs no fixture
+files.  The mix leans on the tiny zoo models so a 500-request storm
+plans real graphs in well under a minute of wall clock: the cache
+collapses the storm onto a handful of unique plan keys, which is also
+what exercises the cross-request cache path the service exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.common.rng import seeded_rng
+from repro.service.request import PlanRequest
+
+#: Models cheap enough to fresh-plan inside a storm.
+DEFAULT_MODELS = ("toy-transformer", "tiny-cnn")
+
+
+def scripted_workload(
+    n_requests: int,
+    *,
+    seed: int = 0,
+    duration: float = 120.0,
+    tenants: int = 4,
+    models: Sequence[str] = DEFAULT_MODELS,
+    modes: Sequence[str] = ("pp", "dp"),
+    minibatches: Sequence[int] = (8, 16),
+    gpus: Sequence[int] = (2,),
+    deadline: Optional[float] = 45.0,
+    execute_fraction: float = 0.0,
+) -> list[PlanRequest]:
+    """Generate ``n_requests`` seeded requests over ``duration`` virtual
+    seconds.
+
+    Arrivals are uniform draws sorted ascending (a fixed-horizon Poisson
+    process).  A drawn DP minibatch that does not divide across the
+    drawn GPU count is demoted to PP -- the storm probes the service's
+    robustness, not the planner's infeasibility handling (the chaos
+    plan's poisoned requests cover malformed input).
+    ``execute_fraction`` marks that fraction of requests as plan+run.
+    """
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    if not 0.0 <= execute_fraction <= 1.0:
+        raise ValueError(
+            f"execute_fraction must be in [0, 1], got {execute_fraction}"
+        )
+    rng = seeded_rng(seed, "service-workload")
+    arrivals = sorted(rng.uniform(0.0, duration) for _ in range(n_requests))
+    requests = []
+    for rid, arrival in enumerate(arrivals):
+        tenant = f"tenant{rng.randrange(tenants)}"
+        model = rng.choice(list(models))
+        mode = rng.choice(list(modes))
+        minibatch = rng.choice(list(minibatches))
+        n_gpus = rng.choice(list(gpus))
+        execute = rng.random() < execute_fraction
+        if mode == "dp" and minibatch % n_gpus != 0:
+            mode = "pp"
+        requests.append(PlanRequest(
+            rid=rid,
+            tenant=tenant,
+            model=model,
+            minibatch=minibatch,
+            mode=mode,
+            gpus=n_gpus,
+            arrival=arrival,
+            deadline=deadline,
+            execute=execute,
+        ))
+    return requests

@@ -25,12 +25,16 @@ task       instant task lifecycle: ``mb<i>`` / ``done`` / ``flushed``
 rebind     instant a late-binding device rescue at an iteration boundary
 replan     instant an elastic re-plan on a survivor subset
 restart    instant an iteration-boundary checkpoint restart
+service    span    one service request's arrival -> resolution window;
+                   instants mark arrivals, planner crashes/timeouts and
+                   breaker denials (:mod:`repro.service`)
 ========== ======= ====================================================
 
 Lanes (``lane``) name the per-device track an event belongs to: the five
 stream names (``compute``, ``swap_in``, ``swap_out``, ``p2p_in``,
-``p2p_out``), ``cpu`` for host-offloaded updates, or ``run`` for
-run-level control events (rebind/replan/restart).
+``p2p_out``), ``cpu`` for host-offloaded updates, ``run`` for run-level
+control events (rebind/replan/restart), or ``service`` for planning-
+daemon request lifecycles (device ``-1``: the service is host-side).
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ from dataclasses import dataclass
 
 #: Lanes the per-device timeline knows about, in display order.
 LANES = ("compute", "swap_in", "swap_out", "p2p_in", "p2p_out", "cpu", "run",
-         "migration")
+         "migration", "service")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,101 @@
+"""DeviceHealthMonitor hysteresis, including the window edge cases.
+
+Two regressions this file exists to pin:
+
+- two degraded observations inside the *same* window (an iteration that
+  restarts and re-examines the same boundary) must count as ONE strike,
+  so a single bad iteration can never burn more than one unit of
+  patience however many attempts it takes; and
+- ``replan_patience=0`` (hysteresis disabled) must condemn on the first
+  degraded observation -- and still never condemn a device it has only
+  ever seen healthy.
+"""
+
+from repro.faults.monitor import DeviceHealthMonitor
+from repro.faults.policy import RecoveryPolicy
+
+import pytest
+
+
+class TestBasicHysteresis:
+    def test_condemns_after_patience_consecutive_strikes(self):
+        monitor = DeviceHealthMonitor(patience=2)
+        assert not monitor.observe(0, degraded=True, window=0)
+        assert monitor.observe(0, degraded=True, window=1)
+        assert monitor.condemned(0)
+
+    def test_healthy_observation_clears_streak(self):
+        monitor = DeviceHealthMonitor(patience=2)
+        monitor.observe(0, degraded=True, window=0)
+        monitor.observe(0, degraded=False, window=1)
+        assert monitor.strikes(0) == 0
+        assert not monitor.observe(0, degraded=True, window=2)
+
+    def test_devices_tracked_independently(self):
+        monitor = DeviceHealthMonitor(patience=2)
+        monitor.observe(0, degraded=True, window=0)
+        assert monitor.strikes(1) == 0
+        assert not monitor.observe(1, degraded=True, window=0)
+
+    def test_condemned_is_sticky_until_forget(self):
+        monitor = DeviceHealthMonitor(patience=1)
+        assert monitor.observe(0, degraded=True, window=0)
+        assert monitor.observe(0, degraded=False, window=1)
+        monitor.forget(0)
+        assert not monitor.condemned(0)
+        assert monitor.strikes(0) == 0
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceHealthMonitor(patience=-1)
+
+
+class TestSameWindowEdgeCase:
+    """Two degradations in one window are one unit of evidence."""
+
+    def test_same_window_adds_single_strike(self):
+        monitor = DeviceHealthMonitor(patience=2)
+        assert not monitor.observe(0, degraded=True, window=5)
+        # A restarted iteration re-examines boundary 5: no second strike.
+        assert not monitor.observe(0, degraded=True, window=5)
+        assert monitor.strikes(0) == 1
+        assert not monitor.condemned(0)
+        # The next boundary is fresh evidence and condemns.
+        assert monitor.observe(0, degraded=True, window=6)
+
+    def test_many_repeats_in_one_window_still_one_strike(self):
+        monitor = DeviceHealthMonitor(patience=3)
+        for _ in range(10):
+            monitor.observe(0, degraded=True, window=0)
+        assert monitor.strikes(0) == 1
+
+    def test_healthy_in_struck_window_does_not_erase_strike(self):
+        """A lucky restart attempt is not evidence of recovery."""
+        monitor = DeviceHealthMonitor(patience=2)
+        monitor.observe(0, degraded=True, window=3)
+        monitor.observe(0, degraded=False, window=3)
+        assert monitor.strikes(0) == 1
+        assert monitor.observe(0, degraded=True, window=4)
+
+    def test_none_window_preserves_historical_per_call_counting(self):
+        monitor = DeviceHealthMonitor(patience=2)
+        assert not monitor.observe(0, degraded=True)
+        assert monitor.observe(0, degraded=True)
+
+
+class TestZeroPatience:
+    """patience=0 disables hysteresis: first degraded strike condemns."""
+
+    def test_first_degraded_observation_condemns(self):
+        monitor = DeviceHealthMonitor(patience=0)
+        assert monitor.observe(0, degraded=True, window=0)
+        assert monitor.condemned(0)
+
+    def test_healthy_only_never_condemns(self):
+        monitor = DeviceHealthMonitor(patience=0)
+        for window in range(5):
+            assert not monitor.observe(0, degraded=False, window=window)
+        assert not monitor.condemned(0)
+
+    def test_recovery_policy_accepts_zero_patience(self):
+        assert RecoveryPolicy(replan_patience=0).replan_patience == 0

@@ -37,6 +37,18 @@ def _case(**overrides):
     return case
 
 
+def _service(**overrides):
+    service = {
+        "requests": 200, "seed": 0, "chaos_intensity": 1.0,
+        "serve_seconds": 0.2, "requests_per_second": 1000.0,
+        "cache_hit_rate": 0.95, "shed_rate": 0.0,
+        "p50_latency_virtual": 0.02, "p99_latency_virtual": 4.6,
+        "breaker_trips": 0,
+    }
+    service.update(overrides)
+    return service
+
+
 def _report(cases=None, calibration=0.03, **overrides):
     report = {
         "schema_version": SCHEMA_VERSION,
@@ -47,6 +59,7 @@ def _report(cases=None, calibration=0.03, **overrides):
         "search_workers": 1,
         "host": {"python": "3.12.0", "platform": "test", "cpus": 1},
         "cases": cases if cases is not None else [_case()],
+        "service": _service(),
     }
     report.update(overrides)
     assert validate(report) == [], "test fixture must be schema-valid"

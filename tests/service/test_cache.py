@@ -1,0 +1,172 @@
+"""Cross-request plan-cache correctness: the content-addressed key.
+
+The service promise is sharp: two requests agreeing on model *content*,
+server spec, minibatch and every search/schedule setting share one plan
+(any tenant, any time); a request differing in ANY of those settings
+misses.  These tests enumerate the settings one by one.  The single
+deliberate exception -- ``search_workers`` -- is pinned too: the forked
+search is bit-identical to the serial search, so worker count must NOT
+split the cache.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.harmony import HarmonyOptions
+from repro.experiments.common import server_for
+from repro.models.zoo import build_model
+from repro.service.cache import (
+    PlanCache,
+    family_key,
+    model_fingerprint,
+    options_fingerprint,
+    plan_key,
+    server_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("toy-transformer")
+
+
+@pytest.fixture(scope="module")
+def server():
+    return server_for(2)
+
+
+def _key(model, server, minibatch=8, **option_overrides):
+    return plan_key(model, server, minibatch,
+                    HarmonyOptions(**option_overrides))
+
+
+class TestKeyHits:
+    def test_identical_requests_share_a_key(self, model, server):
+        assert _key(model, server) == _key(model, server)
+
+    def test_key_is_tenant_free(self, model, server):
+        """Nothing about the requester enters the key: cross-tenant
+        sharing is the point of content addressing."""
+        # plan_key has no tenant parameter at all; pin the signature.
+        import inspect
+
+        params = inspect.signature(plan_key).parameters
+        assert set(params) == {"model", "server", "minibatch", "options"}
+
+    def test_renamed_model_still_hits(self, model, server):
+        """The key addresses model *content*, not the zoo name."""
+        renamed = replace(model, name="totally-different-name")
+        assert model_fingerprint(renamed) == model_fingerprint(model)
+        assert _key(renamed, server) == _key(model, server)
+
+    def test_search_workers_normalized_out(self, model, server):
+        """Forked search is bit-identical to serial: same plan, same key."""
+        assert _key(model, server, search_workers=4) == \
+               _key(model, server, search_workers=1)
+        assert options_fingerprint(HarmonyOptions(search_workers=8)) == \
+               options_fingerprint(HarmonyOptions())
+
+
+class TestKeyMisses:
+    @pytest.mark.parametrize("override", [
+        {"mode": "dp"},
+        {"grouping": False},
+        {"jit": False},
+        {"p2p": False},
+        {"offload_optimizer": False},
+        {"prefetch": False},
+        {"u_fmax": 32},
+        {"u_bmax": 32},
+        {"capacity_fraction": 0.5},
+        {"exhaustive_search": True},
+        {"equi_fb": True},
+        {"seed": 1},
+    ])
+    def test_any_differing_option_misses(self, model, server, override):
+        assert _key(model, server, **override) != _key(model, server)
+
+    def test_minibatch_misses(self, model, server):
+        assert _key(model, server, minibatch=16) != \
+               _key(model, server, minibatch=8)
+
+    def test_different_model_content_misses(self, server):
+        a = build_model("toy-transformer")
+        b = build_model("tiny-cnn")
+        assert model_fingerprint(a) != model_fingerprint(b)
+        assert _key(a, server) != _key(b, server)
+
+    def test_different_server_misses(self, model):
+        two, four = server_for(2), server_for(4)
+        assert server_fingerprint(two) != server_fingerprint(four)
+        assert _key(model, two) != _key(model, four)
+
+
+class TestFamilyKey:
+    def test_family_ignores_server(self, model):
+        options = HarmonyOptions()
+        assert family_key(model, 8, options) == family_key(model, 8, options)
+        # family has no server input at all; differing options still split
+        assert family_key(model, 8, options) != \
+               family_key(model, 8, HarmonyOptions(mode="dp"))
+        assert family_key(model, 8, options) != family_key(model, 16, options)
+
+
+class TestPlanCacheMechanics:
+    def test_hit_miss_counters_and_lru_refresh(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", "plan-a")
+        cache.put("b", "plan-b")
+        assert cache.get("a") == "plan-a"          # refreshes a
+        cache.put("c", "plan-c")                   # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == "plan-a"
+        assert (cache.hits, cache.misses, cache.evictions) == (2, 1, 1)
+
+    def test_reput_refreshes_instead_of_duplicating(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", "v1")
+        cache.put("b", "plan-b")
+        cache.put("a", "v2")
+        cache.put("c", "plan-c")                   # evicts b, not a
+        assert cache.get("a") == "v2"
+        assert cache.get("b") is None
+
+    def test_near_prefers_largest_then_smallest_key(self):
+        cache = PlanCache()
+        fam = ("fp", 8, "opts")
+        cache.put("k1", "one-gpu", family=fam, n_gpus=1)
+        cache.put("k2b", "two-gpu-b", family=fam, n_gpus=2)
+        cache.put("k2a", "two-gpu-a", family=fam, n_gpus=2)
+        n, key, plan = cache.near(fam, gpus=4)
+        assert (n, key, plan) == (2, "k2a", "two-gpu-a")
+        assert cache.stale_hits == 1
+
+    def test_near_never_returns_a_larger_plan(self):
+        cache = PlanCache()
+        fam = ("fp", 8, "opts")
+        cache.put("k4", "four-gpu", family=fam, n_gpus=4)
+        assert cache.near(fam, gpus=2) is None
+
+    def test_near_respects_exclude(self):
+        cache = PlanCache()
+        fam = ("fp", 8, "opts")
+        cache.put("k2", "two-gpu", family=fam, n_gpus=2)
+        assert cache.near(fam, gpus=2, exclude="k2") is None
+
+    def test_eviction_cleans_the_family_index(self):
+        """A near-spec lookup can never resurrect an evicted plan."""
+        cache = PlanCache(capacity=1)
+        fam = ("fp", 8, "opts")
+        cache.put("k1", "one-gpu", family=fam, n_gpus=1)
+        cache.put("k2", "two-gpu", family=fam, n_gpus=2)  # evicts k1
+        near = cache.near(fam, gpus=4)
+        assert near is not None and near[1] == "k2"
+        assert cache.near(fam, gpus=1) is None    # k1 is truly gone
+
+    def test_unknown_family_is_none(self):
+        assert PlanCache().near(("nope", 1, "x"), gpus=8) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
