@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke trace-smoke bench-smoke bench-baseline service-smoke
+.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke cluster-smoke trace-smoke bench-smoke bench-baseline service-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -40,6 +40,20 @@ analyze-smoke:
 # seed hangs (watchdog) or breaks byte accounting.
 chaos-smoke:
 	python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3
+
+# Cluster chaos smoke: multi-server failure domains.  A stage-per-server
+# pipeline losing a whole server per seed (replica restore + cross-server
+# re-plan + stage shrink over real network links), and a data-parallel
+# sweep under a scripted partition window (bounded stall, then heal).
+# Exits nonzero on a hang or broken per-network-link byte accounting;
+# machine-readable outcomes land in cluster-chaos-*.json.
+cluster-smoke:
+	python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 \
+	    --servers 3 --seeds 3 --servers-lost 1 --iterations 3 \
+	    --json cluster-chaos-pp.json
+	python -m repro.cli chaos toy-transformer --minibatch 9 --gpus 2 \
+	    --mode dp --servers 3 --seeds 2 --partition-at 0.001 \
+	    --partition-for 0.01 --iterations 2 --json cluster-chaos-dp.json
 
 # Perf-regression gate: run the smoke bench suite and compare against the
 # committed baseline (benchmarks/BENCH_baseline.json), normalized by each

@@ -38,6 +38,19 @@ echo "== chaos smoke =="
 python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 --seeds 3 \
     || failed=1
 
+echo "== cluster smoke =="
+# Multi-server failure domains: whole-server loss on a stage-per-server
+# pipeline (replica restore + cross-server re-plan) and a DP sweep under
+# a scripted partition window; nonzero on a hang or broken per-link byte
+# accounting.  JSON artifacts land in cluster-chaos-*.json.
+python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 \
+    --servers 3 --seeds 3 --servers-lost 1 --iterations 3 \
+    --json cluster-chaos-pp.json || failed=1
+python -m repro.cli chaos toy-transformer --minibatch 9 --gpus 2 \
+    --mode dp --servers 3 --seeds 2 --partition-at 0.001 \
+    --partition-for 0.01 --iterations 2 --json cluster-chaos-dp.json \
+    || failed=1
+
 echo "== service smoke =="
 # Seeded request storm through the hardened planning service: chaos and
 # clean; exits nonzero on an unresolved request, a determinism mismatch

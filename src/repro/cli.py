@@ -18,8 +18,14 @@ Subcommands:
   outcomes (completed + recovery counters, or the typed error) and a
   summary; exits nonzero if any seed hangs the watchdog or breaks byte
   accounting.  ``--devices-lost`` scripts permanent GPU losses on top of
-  the chaos mix to exercise elastic re-planning; ``--json`` writes the
-  sweep as a machine-readable report.
+  the chaos mix to exercise elastic re-planning; ``--servers N`` (N > 1)
+  switches to the cluster chaos sweep -- whole-server crashes, network
+  partitions, NIC/switch flapping over a simulated multi-server fabric
+  (``--servers-lost`` / ``--partition-at`` script those deterministically)
+  -- recovered by replica restore, cross-server re-planning and pipeline
+  stage shrinking; ``--json`` writes the sweep as a machine-readable
+  report (cluster sweeps include per-category fault counts and recovery
+  outcomes per seed).
 - ``bench`` -- time planner search, simulated execution and tracing for a
   benchmark suite and write a schema-valid ``BENCH_<date>.json`` report;
   ``scripts/perf_gate.py`` compares such reports against the committed
@@ -45,6 +51,9 @@ Examples::
     python -m repro.cli chaos gpt2 --minibatch 32 --seeds 10 --intensity 1.5
     python -m repro.cli chaos gpt2 --minibatch 16 --gpus 4 --seeds 5 \\
         --devices-lost 1 --iterations 3 --json chaos-elastic.json
+    python -m repro.cli chaos toy-transformer --minibatch 8 --gpus 2 \\
+        --servers 3 --seeds 5 --servers-lost 1 --iterations 3 \\
+        --json cluster-chaos.json
     python -m repro.cli bench --suite smoke --repeats 3 --out BENCH_smoke.json
     python -m repro.cli serve --requests 500 --chaos --intensity 1.0 \\
         --check-determinism --max-shed-rate 0.35 --json serve.json
@@ -182,9 +191,30 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lose-at", type=int, default=1,
                        help="iteration at which the losses strike "
                             "(default 1; needs --iterations > this)")
+    chaos.add_argument("--servers", type=int, default=1,
+                       help="run on a simulated cluster of this many "
+                            "servers (>1 switches to the cluster chaos "
+                            "sweep: whole-server crashes, partitions, "
+                            "NIC/switch flaps; --mode picks dp or a "
+                            "stage-per-server pipeline)")
+    chaos.add_argument("--servers-lost", type=int, default=0,
+                       help="with --servers > 1: permanently crash this "
+                            "many servers per seed at --lose-at (victims "
+                            "rotate with the seed; always leaves a "
+                            "survivor) -- exercises replica restore + "
+                            "cross-server re-planning")
+    chaos.add_argument("--partition-at", type=float, default=None,
+                       help="with --servers > 1: script a network "
+                            "partition window opening at this virtual "
+                            "time, isolating one seed-rotated server")
+    chaos.add_argument("--partition-for", type=float, default=0.02,
+                       help="scripted partition window length in virtual "
+                            "seconds (default 0.02)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write per-seed outcomes, recovery "
-                            "counters and elastic re-plan counts as JSON")
+                            "counters and elastic re-plan counts as JSON "
+                            "(cluster sweeps add per-category cluster "
+                            "fault counts and recovery outcomes)")
 
     from repro.perf.bench import SUITES
 
@@ -575,6 +605,8 @@ def _chaos(args: argparse.Namespace) -> int:
     from repro.common.errors import FaultError, SimulationError
     from repro.faults import FaultPlan, FaultSpec, ScriptedFaultPlan
 
+    if args.servers > 1:
+        return _cluster_chaos(args)
     spec = FaultSpec.chaos(args.intensity)
     if args.transfer_rate is not None:
         spec = replace(spec, transfer_fault_rate=args.transfer_rate)
@@ -652,6 +684,167 @@ def _chaos(args: argparse.Namespace) -> int:
                 "hard_failures": hard,
                 "replans": sum(
                     r.get("elastic", {}).get("replans", 0) for r in records
+                ),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 1 if hard else 0
+
+
+def _cluster_chaos(args: argparse.Namespace) -> int:
+    """Seed-sweep cluster chaos: failure domains above one machine.
+
+    Same outcome taxonomy as the single-server sweep -- *completed*
+    (the server-level recovery ladder won: replica restore, cross-server
+    re-plan, stage shrink), *typed failure* (an acceptable
+    :class:`~repro.common.errors.ClusterFaultError` or inner fault), and
+    *hard failure* (watchdog trip or broken byte accounting, including
+    the per-network-link reconciliation).  Only hard failures exit
+    nonzero.  Plans are memoized across the sweep (placements do not
+    depend on the fault seed), so the sweep re-searches nothing.
+    """
+    import json as json_module
+    from dataclasses import asdict, replace
+
+    from repro.cluster import (
+        ClusterFaultPlan,
+        ClusterFaultSpec,
+        ClusterPlanner,
+        ClusterRunner,
+        PartitionWindow,
+        ScriptedClusterFaultPlan,
+        homogeneous_cluster,
+    )
+    from repro.common.errors import FaultError, SimulationError
+
+    n = args.servers
+    spec = ClusterFaultSpec.cluster_chaos(args.intensity)
+    inner = spec.inner
+    if args.transfer_rate is not None:
+        inner = replace(inner, transfer_fault_rate=args.transfer_rate)
+    if args.crash_rate is not None:
+        inner = replace(inner, task_crash_rate=args.crash_rate)
+    spec = replace(spec, inner=inner)
+    cluster = homogeneous_cluster(n, server_for(args.gpus))
+    planner = ClusterPlanner(args.model, cluster, args.minibatch,
+                             mode=args.mode)
+    plan = planner.plan_for(tuple(range(n)))
+    print(plan.describe())
+    scripted_losses = min(args.servers_lost, n - 1)
+    scripted = scripted_losses > 0 or args.partition_at is not None
+    line = (f"cluster chaos sweep: {n} server(s), {args.seeds} seed(s) "
+            f"from {args.seed_base}, {spec.describe()}")
+    if scripted_losses:
+        line += (f", {scripted_losses} server(s) lost at iteration "
+                 f"{args.lose_at}")
+    if args.partition_at is not None:
+        line += (f", partition at t={args.partition_at:g} "
+                 f"for {args.partition_for:g}s")
+    print(line)
+    completed = failed = hard = 0
+    records = []
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        if scripted:
+            # Scripted losses are the only whole-server crashes (mirrors
+            # --devices-lost one level down): stacking seeded crashes on
+            # top would kill owner+buddy pairs on most seeds.
+            crashes = {(seed + i) % n: args.lose_at
+                       for i in range(scripted_losses)}
+            partitions = []
+            if args.partition_at is not None:
+                partitions.append(PartitionWindow(
+                    args.partition_at,
+                    args.partition_at + args.partition_for,
+                    frozenset({seed % n}),
+                ))
+            fault_plan: ClusterFaultPlan = ScriptedClusterFaultPlan(
+                crashes=crashes, partitions=partitions,
+                spec=replace(spec, server_crash_rate=0.0), seed=seed,
+            )
+        else:
+            fault_plan = ClusterFaultPlan(spec, seed=seed)
+        runner = ClusterRunner(planner, fault_plan)
+        record: dict = {"seed": seed}
+        try:
+            metrics = runner.run(args.iterations)
+        except FaultError as exc:
+            failed += 1
+            entity = f" [{exc.entity}]" if exc.entity else ""
+            print(f"  seed {seed}: FAILED {type(exc).__name__}{entity}: "
+                  f"{exc}")
+            record.update(outcome="failed", error_type=type(exc).__name__,
+                          entity=exc.entity, message=str(exc))
+        except SimulationError as exc:
+            hard += 1
+            print(f"  seed {seed}: HARD FAILURE {type(exc).__name__}: {exc}")
+            record.update(outcome="hard_failure",
+                          error_type=type(exc).__name__, message=str(exc))
+        else:
+            completed += 1
+            cl = metrics.cluster
+            assert cl is not None
+            line = (f"  seed {seed}: completed, iteration "
+                    f"{metrics.iteration_time:.4f}s, "
+                    f"{metrics.recovery.describe()}")
+            if cl.any:
+                line += f"; {cl.describe()}"
+            print(line)
+            record.update(
+                outcome="completed",
+                iteration_time=metrics.iteration_time,
+                recovery=asdict(metrics.recovery),
+                elastic=asdict(metrics.elastic),
+            )
+        # Cluster counters exist for failed runs too (faults delivered,
+        # recovery attempted before the ladder gave out).
+        cl = runner.metrics
+        record["cluster"] = {
+            "fault_counts": cl.fault_counts(),
+            "servers_lost": cl.servers_lost,
+            "servers_retired": cl.servers_retired,
+            "cluster_replans": cl.cluster_replans,
+            "stage_shrinks": cl.stage_shrinks,
+            "state_restores": cl.state_restores,
+            "partition_stalls": cl.partition_stalls,
+            "network_bytes": cl.network_bytes,
+            "replication_bytes": cl.replication_bytes,
+            "migration_network_bytes": cl.migration_network_bytes,
+        }
+        records.append(record)
+    print(f"cluster chaos summary: {completed} completed, {failed} failed "
+          f"with a typed fault, {hard} hard failure(s) "
+          f"({'runtime bug' if hard else 'byte accounting intact, no hangs'})")
+    if args.json:
+        payload = {
+            "model": args.model,
+            "mode": args.mode,
+            "gpus": args.gpus,
+            "servers": n,
+            "minibatch": args.minibatch,
+            "iterations": args.iterations,
+            "intensity": args.intensity,
+            "servers_lost": scripted_losses,
+            "partition_at": args.partition_at,
+            "partition_for": args.partition_for,
+            "seed_base": args.seed_base,
+            "seeds": args.seeds,
+            "spec": spec.describe(),
+            "results": records,
+            "summary": {
+                "completed": completed,
+                "failed": failed,
+                "hard_failures": hard,
+                "cluster_replans": sum(
+                    r["cluster"]["cluster_replans"] for r in records
+                ),
+                "state_restores": sum(
+                    r["cluster"]["state_restores"] for r in records
+                ),
+                "migration_network_bytes": sum(
+                    r["cluster"]["migration_network_bytes"] for r in records
                 ),
             },
         }

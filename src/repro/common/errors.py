@@ -95,3 +95,24 @@ class GpuLostError(FaultError):
 class UnrecoveredFaultError(FaultError):
     """An injected fault exhausted every recovery policy (retries,
     fallback, restarts) and the run cannot make progress."""
+
+
+class ServerLostError(FaultError):
+    """A whole server permanently crashed (the cluster-level analog of
+    :class:`GpuLostError`).  Recovery means re-planning the pipeline on
+    the surviving servers and restoring the lost stage's state from its
+    replica (:mod:`repro.cluster`)."""
+
+
+class NetworkPartitionError(FaultError):
+    """A cross-server transfer was attempted while its endpoints sit in
+    disconnected partition components.  Transient: the cluster runner
+    stalls until the partition window heals (or escalates to
+    :class:`ClusterFaultError` when the wait budget runs out)."""
+
+
+class ClusterFaultError(FaultError):
+    """A cluster-level fault exhausted every recovery rung (replan
+    budget, partition wait budget, replica loss) and the cluster run
+    cannot make progress -- the cluster analog of
+    :class:`UnrecoveredFaultError`."""

@@ -18,7 +18,11 @@ or from the command line: ``python -m repro.cli chaos gpt2 --seeds 10``.
 """
 
 from repro.faults.injector import CrashFault, FaultInjector
-from repro.faults.monitor import DeviceHealthMonitor
+from repro.faults.monitor import (
+    DeviceHealthMonitor,
+    HealthMonitor,
+    ServerHealthMonitor,
+)
 from repro.faults.plan import (
     Crash,
     FaultKind,
@@ -42,8 +46,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultTolerantRunner",
+    "HealthMonitor",
     "RecoveryPolicy",
     "ScriptedFaultPlan",
+    "ServerHealthMonitor",
     "check_byte_invariants",
     "rebind_graph",
 ]

@@ -1,13 +1,13 @@
-"""Device health monitor: hysteresis between "degraded" and "re-plan".
+"""Health monitors: hysteresis between "degraded" and "re-plan".
 
 A single straggling iteration must never trigger an elastic re-plan --
 migration moves real bytes over real links, so the escalation from
 "tolerate" to "re-schedule the job" has to be earned.  The monitor keeps
-a per-device strike counter: each iteration boundary at which a device
-is observed degraded beyond the policy's ``rebind_threshold`` (and could
-not be rescued by a cheap 1:1 rebind) adds a strike; a healthy
+a per-entity strike counter: each iteration boundary at which an entity
+(a GPU, or one failure-domain level up, a whole server) is observed
+degraded beyond the policy's tolerance adds a strike; a healthy
 observation clears the counter.  Only after ``patience`` *consecutive*
-strikes does the monitor condemn the device.  ``patience=0`` disables
+strikes does the monitor condemn the entity.  ``patience=0`` disables
 the hysteresis entirely: the first degraded observation condemns.
 
 Observations carry an optional *window* identifier (the runner passes
@@ -16,34 +16,47 @@ the iteration number): two degraded observations inside the same window
 count as **one** strike, not two, so a single bad iteration can never
 burn more than one unit of patience however many attempts it takes.
 
-Permanent GPU *loss* bypasses the monitor entirely: dead hardware has no
-prospect of recovery, so the runner escalates immediately.
+Permanent *loss* (a GPU falling off the bus, a server crashing) bypasses
+the monitor entirely: dead hardware has no prospect of recovery, so the
+runner escalates immediately.
+
+One parameterized implementation serves both failure-domain levels:
+:class:`DeviceHealthMonitor` tracks GPU ids within a server,
+:class:`ServerHealthMonitor` tracks server indices within a cluster.
+They are type aliases of :class:`HealthMonitor`, kept distinct so call
+sites say which domain they police.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Generic, Hashable, Optional, TypeVar
+
+Entity = TypeVar("Entity", bound=Hashable)
 
 
-class DeviceHealthMonitor:
-    """Strike-counting hysteresis for degraded (but alive) devices."""
+class HealthMonitor(Generic[Entity]):
+    """Strike-counting hysteresis for degraded (but alive) entities.
+
+    Generic over the entity key -- anything hashable works; the runner
+    uses ints (GPU ids / server indices).
+    """
 
     def __init__(self, patience: int):
         if patience < 0:
             raise ValueError(f"patience must be >= 0, got {patience}")
         self.patience = patience
-        self._strikes: dict[int, int] = {}
-        #: the window whose strike a device most recently earned, so a
+        self._strikes: dict[Entity, int] = {}
+        #: the window whose strike an entity most recently earned, so a
         #: second degraded observation in the same window is a no-op
-        self._window: dict[int, Hashable] = {}
-        #: devices already condemned (strike count reached patience);
-        #: they stay condemned until :meth:`forget` -- a device does not
+        self._window: dict[Entity, Hashable] = {}
+        #: entities already condemned (strike count reached patience);
+        #: they stay condemned until :meth:`forget` -- an entity does not
         #: redeem itself by looking healthy after we decided to drop it.
-        self._condemned: set[int] = set()
+        self._condemned: set[Entity] = set()
 
-    def observe(self, device: int, degraded: bool,
+    def observe(self, entity: Entity, degraded: bool,
                 window: Optional[Hashable] = None) -> bool:
-        """Record one observation; True once the device is condemned.
+        """Record one observation; True once the entity is condemned.
 
         ``window`` scopes the strike: repeated degraded observations
         with the same window value add a single strike (an iteration
@@ -51,10 +64,10 @@ class DeviceHealthMonitor:
         (the default) treats every observation as a fresh window,
         preserving the historical one-call-per-boundary behavior.
         """
-        if device in self._condemned:
+        if entity in self._condemned:
             return True
         same_window = (
-            window is not None and self._window.get(device) == window
+            window is not None and self._window.get(entity) == window
         )
         if not degraded:
             # A healthy observation opens a new window of evidence and
@@ -62,35 +75,43 @@ class DeviceHealthMonitor:
             # that already earned a strike (a restart attempt that got
             # lucky does not erase the boundary's strike).
             if not same_window:
-                self._strikes.pop(device, None)
-                self._window.pop(device, None)
+                self._strikes.pop(entity, None)
+                self._window.pop(entity, None)
             return False
         if same_window:
             # Second degradation in the same window: already counted.
-            return self._condemn_if_due(device)
-        strikes = self._strikes.get(device, 0) + 1
-        self._strikes[device] = strikes
+            return self._condemn_if_due(entity)
+        strikes = self._strikes.get(entity, 0) + 1
+        self._strikes[entity] = strikes
         if window is not None:
-            self._window[device] = window
-        return self._condemn_if_due(device)
+            self._window[entity] = window
+        return self._condemn_if_due(entity)
 
-    def _condemn_if_due(self, device: int) -> bool:
+    def _condemn_if_due(self, entity: Entity) -> bool:
         # patience=0 ("no hysteresis") behaves like patience=1: one
         # degraded observation is still required -- the monitor never
-        # condemns a device it has only seen healthy.
-        if self._strikes.get(device, 0) >= max(self.patience, 1):
-            self._condemned.add(device)
+        # condemns an entity it has only seen healthy.
+        if self._strikes.get(entity, 0) >= max(self.patience, 1):
+            self._condemned.add(entity)
             return True
         return False
 
-    def strikes(self, device: int) -> int:
-        return self._strikes.get(device, 0)
+    def strikes(self, entity: Entity) -> int:
+        return self._strikes.get(entity, 0)
 
-    def condemned(self, device: int) -> bool:
-        return device in self._condemned
+    def condemned(self, entity: Entity) -> bool:
+        return entity in self._condemned
 
-    def forget(self, device: int) -> None:
-        """Drop all state for ``device`` (it left the active set)."""
-        self._strikes.pop(device, None)
-        self._window.pop(device, None)
-        self._condemned.discard(device)
+    def forget(self, entity: Entity) -> None:
+        """Drop all state for ``entity`` (it left the active set)."""
+        self._strikes.pop(entity, None)
+        self._window.pop(entity, None)
+        self._condemned.discard(entity)
+
+
+class DeviceHealthMonitor(HealthMonitor[int]):
+    """Strike tracking for GPUs within one server (the historical name)."""
+
+
+class ServerHealthMonitor(HealthMonitor[int]):
+    """Strike tracking for whole servers within a cluster."""

@@ -73,9 +73,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FaultTolerantRunner",
+    "RunnerState",
     "check_byte_invariants",
     "rebind_graph",  # re-exported from repro.elastic.rebind
 ]
+
+
+class RunnerState:
+    """Recovery state carried across :meth:`FaultTolerantRunner.run` calls.
+
+    The runner is normally self-contained: one ``run()`` call owns the
+    health monitor, the dead/retired device sets, and the current
+    (possibly rebound or re-planned) graph.  A caller that steps a run
+    iteration-by-iteration -- the cluster runner interleaves per-server
+    compute with cross-server communication every iteration -- passes a
+    ``RunnerState`` instead, so strikes, losses, and graph rescues
+    persist between calls exactly as they would inside one long run.
+    ``graph`` holds the current executable graph after each call; the
+    caller passes it back in as the next call's input graph.
+    """
+
+    def __init__(self, patience: int):
+        self.monitor = DeviceHealthMonitor(patience)
+        self.dead: set[int] = set()
+        self.retired: set[int] = set()
+        self.graph: Optional[TaskGraph] = None
 
 
 def check_byte_invariants(graph: TaskGraph, metrics: RunMetrics) -> None:
@@ -363,8 +385,19 @@ class FaultTolerantRunner:
         elastic.migration_host_bytes += report.host_bytes
         return eplan.graph
 
-    def run(self, graph: TaskGraph, iterations: int = 1) -> RunMetrics:
-        """Execute ``iterations`` iterations under the fault plan."""
+    def run(self, graph: TaskGraph, iterations: int = 1,
+            start_iteration: int = 0,
+            state: Optional[RunnerState] = None) -> RunMetrics:
+        """Execute ``iterations`` iterations under the fault plan.
+
+        ``start_iteration`` offsets the iteration numbering: fault-plan
+        contexts, loss-detection horizons, and monitor windows all use
+        the absolute iteration number, so a caller stepping the run one
+        iteration per call (passing a shared ``state``) sees exactly the
+        faults and escalations a single ``run(iterations=N)`` call would
+        -- run-scoped losses persist, strikes accumulate, and the rescued
+        graph carries forward through ``state.graph``.
+        """
         if not self.plan.enabled:
             # Zero-overhead path: no injector, no recovery machinery --
             # bit-identical to a plain executor run.
@@ -381,13 +414,17 @@ class FaultTolerantRunner:
             metrics = executor.run(graph, iterations=iterations)
             if self.trace is not None:
                 self.trace.advance(sim.now)
+            if state is not None:
+                state.graph = graph
             return metrics
 
+        if state is None:
+            state = RunnerState(self.policy.replan_patience)
         recovery = RecoveryMetrics()
         elastic = ElasticMetrics()
-        monitor = DeviceHealthMonitor(self.policy.replan_patience)
-        dead: set[int] = set()
-        retired: set[int] = set()
+        monitor = state.monitor
+        dead = state.dead
+        retired = state.retired
         gpus = [GpuMetrics() for _ in range(self.spec.n_gpus)]
         total_time = 0.0
         host_peak = 0
@@ -403,7 +440,7 @@ class FaultTolerantRunner:
                                    elastic, monitor, dead, retired)
             total_time += elastic.migration_time - before
 
-        for iteration in range(iterations):
+        for iteration in range(start_iteration, start_iteration + iterations):
             rescue(iteration, 0)
             metrics: Optional[RunMetrics] = None
             for attempt in range(self.policy.max_iteration_restarts + 1):
@@ -443,6 +480,7 @@ class FaultTolerantRunner:
             total_time += metrics.iteration_time
             host_peak = max(host_peak, metrics.host_peak_bytes)
             minibatch = metrics.minibatch
+        state.graph = current
         if iterations > 1:
             for g in gpus:
                 g.swap_in_bytes //= iterations

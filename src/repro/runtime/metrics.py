@@ -163,6 +163,104 @@ class ElasticMetrics:
 
 
 @dataclass
+class ClusterMetrics:
+    """Every cluster-level fault and recovery action a run took.
+
+    Pay-for-use like :class:`ElasticMetrics`: all zeros on a single-server
+    run (the field stays ``None`` on :class:`RunMetrics` there), and the
+    per-category fault counters double as the ``--json`` chaos report's
+    cluster section.
+    """
+
+    #: servers permanently crashed (injected whole-server loss)
+    servers_lost: int = 0
+    #: servers retired by the server health monitor (struck out)
+    servers_retired: int = 0
+    #: cluster-level re-plans (stage remap / reshard on the survivors)
+    cluster_replans: int = 0
+    #: re-plans that reduced the pipeline stage count
+    stage_shrinks: int = 0
+    #: comm phases stalled waiting for a partition window to heal
+    partition_stalls: int = 0
+    #: virtual seconds spent stalled on partitions (in total run time)
+    partition_stall_time: float = 0.0
+    #: cross-server bytes moved (activations, gradients, allreduce,
+    #: replication) over the network fabric
+    network_bytes: int = 0
+    #: subset of ``network_bytes`` that was buddy checkpoint replication
+    replication_bytes: int = 0
+    #: state-migration moves executed over network links after re-plans
+    migration_moves: int = 0
+    #: migration bytes that rode the network fabric
+    migration_network_bytes: int = 0
+    #: virtual seconds spent in cross-server state migration
+    migration_time: float = 0.0
+    #: stage states restored from a buddy replica (owner was dead)
+    state_restores: int = 0
+    # -- injected cluster faults, by category (the chaos report's counts) --
+    server_crashes: int = 0
+    partition_epochs: int = 0
+    nic_degrade_epochs: int = 0
+    switch_flap_epochs: int = 0
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.servers_lost > 0 or self.servers_retired > 0
+            or self.cluster_replans > 0 or self.partition_stalls > 0
+            or self.network_bytes > 0 or self.migration_moves > 0
+            or self.server_crashes > 0 or self.partition_epochs > 0
+            or self.nic_degrade_epochs > 0 or self.switch_flap_epochs > 0
+        )
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected cluster faults by category (for the chaos report)."""
+        return {
+            "server_crash": self.server_crashes,
+            "partition": self.partition_epochs,
+            "nic_degrade": self.nic_degrade_epochs,
+            "switch_flap": self.switch_flap_epochs,
+        }
+
+    def accumulate(self, other: "ClusterMetrics") -> None:
+        self.servers_lost += other.servers_lost
+        self.servers_retired += other.servers_retired
+        self.cluster_replans += other.cluster_replans
+        self.stage_shrinks += other.stage_shrinks
+        self.partition_stalls += other.partition_stalls
+        self.partition_stall_time += other.partition_stall_time
+        self.network_bytes += other.network_bytes
+        self.replication_bytes += other.replication_bytes
+        self.migration_moves += other.migration_moves
+        self.migration_network_bytes += other.migration_network_bytes
+        self.migration_time += other.migration_time
+        self.state_restores += other.state_restores
+        self.server_crashes += other.server_crashes
+        self.partition_epochs += other.partition_epochs
+        self.nic_degrade_epochs += other.nic_degrade_epochs
+        self.switch_flap_epochs += other.switch_flap_epochs
+
+    def describe(self) -> str:
+        return (
+            f"cluster: {self.servers_lost} server(s) lost "
+            f"(+{self.servers_retired} retired), "
+            f"{self.cluster_replans} cluster re-plan(s) "
+            f"({self.stage_shrinks} stage shrink(s), "
+            f"{self.state_restores} replica restore(s)); "
+            f"network {self.network_bytes / 2**20:.2f} MiB "
+            f"(repl {self.replication_bytes / 2**20:.2f} MiB), migration "
+            f"{self.migration_moves} moves / "
+            f"{self.migration_network_bytes / 2**20:.2f} MiB / "
+            f"{self.migration_time:.3f}s; "
+            f"{self.partition_stalls} partition stall(s) "
+            f"({self.partition_stall_time:.3f}s); faults "
+            f"{self.server_crashes} crash, {self.partition_epochs} "
+            f"partition, {self.nic_degrade_epochs} nic, "
+            f"{self.switch_flap_epochs} switch epochs"
+        )
+
+
+@dataclass
 class RunMetrics:
     """One iteration's results."""
 
@@ -183,6 +281,9 @@ class RunMetrics:
     #: ``minibatch`` is the request count, ``iteration_time`` the
     #: makespan, so ``throughput`` reads requests per virtual second).
     service: Optional["ServiceMetrics"] = None
+    #: Cluster-level counters, present when these metrics describe a
+    #: multi-server :class:`repro.cluster.ClusterRunner` run.
+    cluster: Optional[ClusterMetrics] = None
 
     @property
     def throughput(self) -> float:
@@ -255,6 +356,8 @@ class RunMetrics:
             lines.append(f"  {self.recovery.describe()}")
         if self.elastic.any:
             lines.append(f"  {self.elastic.describe()}")
+        if self.cluster is not None and self.cluster.any:
+            lines.append(f"  {self.cluster.describe()}")
         if self.trace is not None:
             lines.extend(
                 "  " + line for line in self.trace.describe().splitlines()

@@ -21,7 +21,7 @@ Routing mirrors the training executor's conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterable, Optional
+from typing import Callable, Generator, Iterable, Optional
 
 from repro.common.errors import SimulationError
 from repro.elastic.migration import MigrationMove
@@ -129,6 +129,86 @@ class MigrationExecutor:
         sim.run(max_steps=max_steps)
         report.time = sim.now
         report.n_moves = len(todo)
+        if self.trace is not None:
+            self.trace.advance(sim.now)
+        return report
+
+
+@dataclass(frozen=True)
+class NetworkMove:
+    """One cross-server state move: ``nbytes`` from server ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    nbytes: int
+    label: str = "net-move"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise SimulationError(
+                f"negative network move size: {self.nbytes} ({self.label})"
+            )
+
+
+class NetworkMigrationExecutor:
+    """Run cross-server state moves over a cluster's real network fabric.
+
+    The cluster analog of :class:`MigrationExecutor`: every move is its own
+    simulator process, so simultaneous restores contend on the shared
+    switch link and the reported time is the phase makespan.  The caller
+    supplies ``fabric_factory(sim)`` returning an object with
+    ``route(src, dst)`` (a list of :class:`~repro.sim.links.NetworkLink`
+    hops) and ``bytes_by_link()`` -- normally a
+    :class:`~repro.cluster.fabric.ClusterFabric` bound to the phase's
+    private simulator, optionally pre-armed with fault degradation.
+
+    After :meth:`run`, ``link_bytes`` holds the per-link byte counters the
+    phase produced, for the runner's network byte reconciliation.
+    """
+
+    def __init__(self, fabric_factory: Callable[[Simulator], object],
+                 trace=None):
+        self.fabric_factory = fabric_factory
+        self.trace = trace
+        self.link_bytes: dict = {}
+
+    def _move_op(self, fabric, sim: Simulator, move: NetworkMove,
+                 report: MigrationReport) -> Generator:
+        start = sim.now
+        path = fabric.route(move.src, move.dst)
+        yield from transfer(sim, path, move.nbytes, label=move.label,
+                            device=-1, lane="cluster")
+        report.host_bytes += move.nbytes
+        trace = sim.trace
+        if trace is not None:
+            # cat "cluster", not "migration": the fault-event invariant
+            # pairs "migration" spans 1:1 with per-server elastic counters,
+            # and cross-server moves are counted separately in
+            # ClusterMetrics.migration_moves.
+            trace.span("cluster", move.label, start, sim.now,
+                       device=-1, lane="cluster", nbytes=move.nbytes,
+                       kind_="migration", src=move.src, dst=move.dst)
+
+    def run(self, moves: Iterable[NetworkMove],
+            max_steps: Optional[int] = MIGRATION_MAX_STEPS) -> MigrationReport:
+        """Execute all moves concurrently; returns the phase's cost."""
+        report = MigrationReport()
+        todo = [m for m in moves if m.src != m.dst and m.nbytes > 0]
+        self.link_bytes = {}
+        if not todo:
+            return report
+        sim = Simulator()
+        sim.trace = self.trace
+        fabric = self.fabric_factory(sim)
+        for i, move in enumerate(todo):
+            sim.process(
+                self._move_op(fabric, sim, move, report),
+                name=f"{move.label}#{i}",
+            )
+        sim.run(max_steps=max_steps)
+        report.time = sim.now
+        report.n_moves = len(todo)
+        self.link_bytes = dict(fabric.bytes_by_link())
         if self.trace is not None:
             self.trace.advance(sim.now)
         return report

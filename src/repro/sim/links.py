@@ -38,16 +38,26 @@ from repro.sim.engine import Resource, Simulator
 
 
 class Link:
-    """One direction of an interconnect hop with a fixed nominal bandwidth."""
+    """One direction of an interconnect hop with a fixed nominal bandwidth.
+
+    ``latency`` is a fixed per-hop propagation delay added to every hold
+    (0 for PCIe hops, where propagation is negligible against transfer
+    time; network hops set it).  A zero latency adds ``0.0`` to the
+    duration, which is bit-identical to the pre-latency arithmetic.
+    """
 
     _next_id = 0
 
-    def __init__(self, sim: Simulator, name: str, bandwidth: float):
+    def __init__(self, sim: Simulator, name: str, bandwidth: float,
+                 latency: float = 0.0):
         if bandwidth <= 0:
             raise SimulationError(f"link {name!r} bandwidth must be positive")
+        if latency < 0:
+            raise SimulationError(f"link {name!r} latency cannot be negative")
         self.sim = sim
         self.name = name
         self.bandwidth = float(bandwidth)  # nominal bytes per second
+        self.latency = float(latency)      # seconds per hold
         self.bytes_moved = 0
         self.busy_time = 0.0
         #: Optional time-varying bandwidth multiplier (fault injection).
@@ -69,6 +79,22 @@ class Link:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, {self.bandwidth / 1e9:.1f} GB/s)"
+
+
+class NetworkLink(Link):
+    """A cross-server network hop: bandwidth plus propagation latency.
+
+    Semantically identical to :class:`Link` (same arbitration, same
+    degradation/fault hooks, same byte accounting), but kept as its own
+    type so cluster code and invariant checks can tell NICs and switch
+    fabrics apart from PCIe hops.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkLink({self.name}, {self.bandwidth / 1e9:.1f} GB/s, "
+            f"{self.latency * 1e6:.0f}us)"
+        )
 
 
 @dataclass(frozen=True)
@@ -138,7 +164,7 @@ def transfer(
     for link in ordered:
         yield link._resource.request()
     acquired = sim.now
-    duration = nbytes / min(
+    duration = sum(link.latency for link in path) + nbytes / min(
         link.effective_bandwidth(sim.now) for link in path
     )
     if fault is not None:
@@ -175,8 +201,12 @@ def path_time(path: Iterable[Link], nbytes: int) -> float:
 
     Uses nominal bandwidths: the Scheduler's estimator plans for the
     healthy machine; injected degradation is the runtime's problem.
+    Deterministically zero-cost for an empty path or a non-positive byte
+    count (a zero-hop route or an empty tensor costs nothing -- mirroring
+    :func:`transfer`'s short-circuits), never a division error.
     """
-    bandwidths = [link.bandwidth for link in path]
+    hops = list(path)
+    bandwidths = [link.bandwidth for link in hops]
     if not bandwidths or nbytes <= 0:
         return 0.0
-    return nbytes / min(bandwidths)
+    return sum(link.latency for link in hops) + nbytes / min(bandwidths)

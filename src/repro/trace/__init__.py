@@ -24,7 +24,11 @@ The subsystem has four parts:
 from repro.trace.analytics import TraceAnalytics, analyze_trace
 from repro.trace.events import TraceEvent
 from repro.trace.export import dump_chrome_trace, to_chrome_trace, to_text_timeline
-from repro.trace.invariants import TraceInvariantError, check_trace
+from repro.trace.invariants import (
+    TraceInvariantError,
+    check_network_reconciliation,
+    check_trace,
+)
 from repro.trace.recorder import TraceRecorder
 
 __all__ = [
@@ -33,6 +37,7 @@ __all__ = [
     "TraceInvariantError",
     "TraceRecorder",
     "analyze_trace",
+    "check_network_reconciliation",
     "check_trace",
     "dump_chrome_trace",
     "to_chrome_trace",

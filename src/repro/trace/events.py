@@ -28,13 +28,20 @@ restart    instant an iteration-boundary checkpoint restart
 service    span    one service request's arrival -> resolution window;
                    instants mark arrivals, planner crashes/timeouts and
                    breaker denials (:mod:`repro.service`)
+cluster    span    one per-server compute phase of a cluster iteration;
+                   instants mark cluster-level control and fault events
+                   (server crash, partition stall/heal, cluster replan,
+                   stage shrink, replica restore) -- :mod:`repro.cluster`
 ========== ======= ====================================================
 
 Lanes (``lane``) name the per-device track an event belongs to: the five
 stream names (``compute``, ``swap_in``, ``swap_out``, ``p2p_in``,
 ``p2p_out``), ``cpu`` for host-offloaded updates, ``run`` for run-level
-control events (rebind/replan/restart), or ``service`` for planning-
-daemon request lifecycles (device ``-1``: the service is host-side).
+control events (rebind/replan/restart), ``service`` for planning-daemon
+request lifecycles, or ``cluster`` for cross-server traffic and control
+(device ``-1``: the fabric is nobody's GPU).  Cross-server ``xfer`` spans
+ride the ``cluster`` lane so they never pollute per-server swap/p2p byte
+reconciliation.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ from dataclasses import dataclass
 
 #: Lanes the per-device timeline knows about, in display order.
 LANES = ("compute", "swap_in", "swap_out", "p2p_in", "p2p_out", "cpu", "run",
-         "migration", "service")
+         "migration", "service", "cluster")
 
 
 @dataclass(frozen=True)

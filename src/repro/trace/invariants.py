@@ -225,6 +225,38 @@ def check_compute_busy(events: Sequence[TraceEvent], metrics,
                 )
 
 
+def check_network_reconciliation(events: Sequence[TraceEvent],
+                                 link_bytes: dict) -> None:
+    """Per-network-link byte totals from cluster-lane transfer spans
+    reconcile exactly with the fabric's own counters.
+
+    ``link_bytes`` maps network link names to the bytes the cluster
+    runner read back from the fabric's :class:`~repro.sim.links.Link`
+    counters; every cross-server transfer span (``cat == "xfer"`` on the
+    ``cluster`` lane) names its hops in the ``links`` meta, so each hop's
+    traced total must equal the counter -- a transfer recorded but not
+    accounted (or vice versa) fails here.
+    """
+    seen: Counter = Counter()
+    for e in events:
+        if e.kind != "span" or e.cat != "xfer" or e.lane != "cluster":
+            continue
+        links = e.meta_dict().get("links", "")
+        if not links:
+            continue
+        for name in links.split("+"):
+            seen[name] += e.nbytes
+    for name in sorted(set(seen) | set(link_bytes)):
+        traced = seen.get(name, 0)
+        counted = link_bytes.get(name, 0)
+        if traced != counted:
+            _fail(
+                f"network link {name!r}: trace shows {traced} bytes, "
+                f"fabric counted {counted} -- cluster byte "
+                f"reconciliation broken"
+            )
+
+
 # -- fault-event completeness -------------------------------------------------------
 
 

@@ -1,0 +1,48 @@
+"""Shared cluster fixtures.
+
+Planners are session-scoped and shared across tests: placements are a
+pure function of (model, cluster, minibatch, mode) -- never of the fault
+seed -- and every per-server Harmony memoizes its search, so the whole
+cluster suite re-plans each (mode, survivor-subset) exactly once.
+"""
+
+import pytest
+
+from repro.cluster import ClusterPlanner, homogeneous_cluster
+from repro.experiments.common import server_for
+
+
+@pytest.fixture(scope="session")
+def two_gpu_server():
+    return server_for(2)
+
+
+@pytest.fixture(scope="session")
+def cluster3(two_gpu_server):
+    return homogeneous_cluster(3, two_gpu_server)
+
+
+@pytest.fixture(scope="session")
+def cluster2(two_gpu_server):
+    return homogeneous_cluster(2, two_gpu_server)
+
+
+@pytest.fixture(scope="session")
+def _planner_cache():
+    return {}
+
+
+@pytest.fixture(scope="session")
+def make_planner(_planner_cache, two_gpu_server):
+    """Memoized planner factory: one ClusterPlanner per configuration."""
+
+    def factory(model="toy-transformer", servers=3, minibatch=8, mode="pp"):
+        key = (model, servers, minibatch, mode)
+        if key not in _planner_cache:
+            cluster = homogeneous_cluster(servers, two_gpu_server)
+            _planner_cache[key] = ClusterPlanner(
+                model, cluster, minibatch, mode=mode
+            )
+        return _planner_cache[key]
+
+    return factory

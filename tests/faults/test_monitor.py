@@ -11,7 +11,11 @@ Two regressions this file exists to pin:
   ever seen healthy.
 """
 
-from repro.faults.monitor import DeviceHealthMonitor
+from repro.faults.monitor import (
+    DeviceHealthMonitor,
+    HealthMonitor,
+    ServerHealthMonitor,
+)
 from repro.faults.policy import RecoveryPolicy
 
 import pytest
@@ -99,3 +103,36 @@ class TestZeroPatience:
 
     def test_recovery_policy_accepts_zero_patience(self):
         assert RecoveryPolicy(replan_patience=0).replan_patience == 0
+
+
+@pytest.mark.parametrize("cls", [DeviceHealthMonitor, ServerHealthMonitor])
+class TestEntityKinds:
+    """Device- and server-level tracking share ONE parameterized monitor.
+
+    Both are :class:`HealthMonitor` specializations, so the hysteresis
+    semantics pinned above hold identically at every failure-domain
+    granularity -- this is the refactor's contract.
+    """
+
+    def test_is_a_health_monitor(self, cls):
+        assert issubclass(cls, HealthMonitor)
+
+    def test_same_hysteresis_semantics(self, cls):
+        monitor = cls(patience=2)
+        assert not monitor.observe(0, degraded=True, window=0)
+        assert not monitor.observe(0, degraded=True, window=0)  # same window
+        assert monitor.strikes(0) == 1
+        assert monitor.observe(0, degraded=True, window=1)
+        assert monitor.condemned(0)
+
+    def test_forget_resets(self, cls):
+        monitor = cls(patience=1)
+        assert monitor.observe(3, degraded=True, window=0)
+        monitor.forget(3)
+        assert not monitor.condemned(3)
+        assert monitor.strikes(3) == 0
+
+    def test_entities_independent(self, cls):
+        monitor = cls(patience=1)
+        monitor.observe(0, degraded=True, window=0)
+        assert not monitor.condemned(1)

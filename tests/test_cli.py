@@ -34,3 +34,51 @@ class TestCli:
     def test_every_experiment_registered(self):
         # The registry covers all evaluation figures and tables.
         assert {"fig09", "fig13", "fig15", "tab01", "tab04"} <= set(EXPERIMENTS)
+
+
+class TestClusterChaosCli:
+    def test_scripted_server_loss_sweep(self, capsys, tmp_path):
+        out = tmp_path / "cluster-chaos.json"
+        assert main([
+            "chaos", "toy-transformer", "--minibatch", "8", "--gpus", "2",
+            "--servers", "3", "--seeds", "2", "--servers-lost", "1",
+            "--iterations", "3", "--json", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "cluster chaos summary" in printed
+        assert "0 hard failure(s)" in printed
+
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["servers"] == 3
+        assert payload["summary"]["hard_failures"] == 0
+        assert payload["summary"]["state_restores"] >= 1
+        for record in payload["results"]:
+            assert "seed" in record
+            cluster = record["cluster"]
+            assert set(cluster["fault_counts"]) == {
+                "server_crash", "partition", "nic_degrade", "switch_flap"
+            }
+            if record["outcome"] == "completed":
+                assert cluster["servers_lost"] == 1
+                assert cluster["cluster_replans"] >= 1
+
+    def test_dp_partition_sweep(self, capsys):
+        assert main([
+            "chaos", "toy-transformer", "--minibatch", "9", "--gpus", "2",
+            "--mode", "dp", "--servers", "3", "--seeds", "1",
+            "--partition-at", "0.001", "--partition-for", "0.01",
+            "--iterations", "2",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "cluster-dp plan" in printed
+        assert "0 hard failure(s)" in printed
+
+    def test_single_server_path_unchanged(self, capsys):
+        # --servers 1 (the default) keeps the original per-server sweep.
+        assert main([
+            "chaos", "toy-transformer", "--minibatch", "8", "--gpus", "2",
+            "--seeds", "1",
+        ]) == 0
+        assert "chaos summary" in capsys.readouterr().out
