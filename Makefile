@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke cluster-smoke trace-smoke bench-smoke bench-baseline service-smoke
+.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke cluster-smoke trace-smoke bench-smoke bench-baseline service-smoke virt-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -78,6 +78,20 @@ service-smoke:
 	    --json service-chaos.json
 	python -m repro.cli serve --requests 200 --seed 1 \
 	    --check-determinism --max-shed-rate 0.10 --json service-clean.json
+
+# Virtual-device smoke: one 4-logical-GPU plan bound three ways --
+# identity (bit-identical), heterogeneous 2-fast/2-slow, and
+# oversubscribed onto 2 physical GPUs (time-slice) -- each executed and
+# re-certified by the analyzer against per-device memory.  Exits nonzero
+# if any bind is rejected or any run fails; machine-readable outcomes
+# land in virt-*.json.
+virt-smoke:
+	python -m repro.cli bind toy-transformer --minibatch 16 --gpus 4 \
+	    --run --json virt-identity.json
+	python -m repro.cli bind toy-transformer --minibatch 16 --gpus 4 \
+	    --hetero 1.5,1.5,0.75,0.75 --run --json virt-hetero.json
+	python -m repro.cli bind toy-transformer --minibatch 16 --gpus 4 \
+	    --physical 2 --run --json virt-timeslice.json
 
 # Record a traced run (clean + chaos), invariant-check it, and export
 # Perfetto JSON; exits nonzero if the trace breaks a runtime invariant.

@@ -30,11 +30,41 @@ GPUS = 2
 MINIBATCH = 8
 ITERATIONS = 1
 
+#: Heterogeneous-bind golden: the toy transformer planned for 4 logical
+#: GPUs and bound onto 2 fast + 2 slow physical devices (repro.virt).
+#: Pins the exact rescaled timeline, so a timing-rescale change shows up
+#: as a reviewable diff, not a surprise.
+HETERO_MODEL = "toy-transformer"
+HETERO_MODE = "pp"
+HETERO_GPUS = 4
+HETERO_FLOPS_SCALES = (1.5, 1.5, 0.75, 0.75)
+
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "trace" / "golden"
 
 
 def golden_path(model: str, mode: str) -> Path:
     return GOLDEN_DIR / f"{model}-{mode}.trace"
+
+
+def hetero_golden_path() -> Path:
+    return GOLDEN_DIR / f"{HETERO_MODEL}-{HETERO_MODE}-hetero.trace"
+
+
+def record_hetero() -> str:
+    """The heterogeneous-bind traced run; returns canonical trace text."""
+    from repro.core.harmony import Harmony, HarmonyOptions
+    from repro.experiments.common import server_for
+    from repro.trace import TraceRecorder
+    from repro.virt import DeviceBinding
+
+    harmony = Harmony(
+        HETERO_MODEL, server_for(HETERO_GPUS), MINIBATCH,
+        options=HarmonyOptions(mode=HETERO_MODE),
+    )
+    bound = harmony.bind(DeviceBinding.heterogeneous(HETERO_FLOPS_SCALES))
+    recorder = TraceRecorder()
+    harmony.run(plan=bound, iterations=ITERATIONS, trace=recorder)
+    return recorder.canonical() + "\n"
 
 
 def record(model: str, mode: str) -> str:
@@ -59,6 +89,10 @@ def main() -> None:
         path.write_text(record(model, mode))
         lines = path.read_text().count("\n")
         print(f"wrote {path.relative_to(Path.cwd())} ({lines} events)")
+    path = hetero_golden_path()
+    path.write_text(record_hetero())
+    lines = path.read_text().count("\n")
+    print(f"wrote {path.relative_to(Path.cwd())} ({lines} events)")
 
 
 if __name__ == "__main__":

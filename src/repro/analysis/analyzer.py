@@ -54,6 +54,7 @@ def analyze(
     host_state_bytes: Optional[int] = None,
     host_input_bytes: Optional[int] = None,
     prefetch: bool = True,
+    device_memory: Optional[Sequence[int]] = None,
     passes: Optional[Sequence[str]] = None,
     suppress: Iterable[str] = (),
     waivers: Sequence[Waiver] = (),
@@ -71,6 +72,8 @@ def analyze(
         host_state_bytes=host_state_bytes,
         host_input_bytes=host_input_bytes,
         prefetch=prefetch,
+        device_memory=list(device_memory) if device_memory is not None
+        else None,
     )
     names = list(passes) if passes is not None else list(registered_passes())
     muted = frozenset(suppress)

@@ -40,9 +40,9 @@ class CapacityPass(AnalysisPass):
 
     def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
         assert ctx.server is not None
-        capacity = ctx.server.gpu.memory_bytes
         window = ctx.fetch_slots
         for device, tasks in enumerate(ctx.device_order()):
+            capacity = ctx.device_capacity(device)
             resident = [
                 0 if task.on_cpu else task.resident_bytes for task in tasks
             ]

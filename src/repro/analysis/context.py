@@ -33,6 +33,10 @@ class AnalysisContext:
     # Whether the Runtime will run with prefetch double-buffering; bounds
     # how many tasks hold GPU residency concurrently per device.
     prefetch: bool = True
+    # Per-device GPU memory override (bytes, indexed by device id) for
+    # heterogeneous bindings; devices beyond the list -- and all devices
+    # when None -- fall back to the server spec's uniform GPU memory.
+    device_memory: Optional[list[int]] = None
 
     _per_device: Optional[list[list[Task]]] = field(
         default=None, init=False, repr=False
@@ -42,6 +46,19 @@ class AnalysisContext:
     def fetch_slots(self) -> int:
         """Concurrent per-device task windows (Executor's slot capacity)."""
         return 2 if self.prefetch else 1
+
+    def device_capacity(self, device: int) -> int:
+        """GPU memory capacity of ``device`` in bytes (requires a server).
+
+        Honors the per-device override of a heterogeneous binding;
+        integer-exact (the override is computed with Fraction arithmetic
+        upstream), so capacity passes stay bit-stable.
+        """
+        assert self.server is not None, "device capacity needs a server"
+        if (self.device_memory is not None
+                and 0 <= device < len(self.device_memory)):
+            return self.device_memory[device]
+        return self.server.gpu.memory_bytes
 
     def device_order(self) -> list[list[Task]]:
         """Tasks per device in issue order, cached across passes.

@@ -138,7 +138,7 @@ def capacity_certificates(ctx: AnalysisContext) -> list[CapacityCertificate]:
     assert ctx.server is not None, "capacity certificates need a server"
     certs = [
         _device_certificate(
-            device, tasks, ctx.fetch_slots, ctx.server.gpu.memory_bytes
+            device, tasks, ctx.fetch_slots, ctx.device_capacity(device)
         )
         for device, tasks in enumerate(ctx.device_order())
     ]

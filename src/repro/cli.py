@@ -9,6 +9,12 @@ Subcommands:
 - ``check`` -- plan, then statically verify the schedule (deadlocks,
   dataflow, capacity, topology, ablation consistency) without executing;
   exits nonzero when the analyzer reports errors;
+- ``bind``  -- late-bind the logical plan onto a physical topology
+  (:mod:`repro.virt`): identity, fewer devices (``--physical``,
+  deterministic time-slice multiplexing) or a heterogeneous FLOPs/memory
+  mix (``--hetero`` / ``--memory-scales``); the bound schedule is
+  re-certified by the strict analyzer against per-physical-device memory
+  (nonzero exit when rejected) and ``--run`` also executes it;
 - ``experiment`` -- regenerate one of the paper's tables/figures by name;
 - ``trace`` -- execute with the trace recorder attached, validate the
   recorded timeline against the runtime invariants, and export it as
@@ -45,6 +51,10 @@ Examples::
     python -m repro.cli run bert96 --minibatch 32 --mode dp --gpus 4
     python -m repro.cli check gpt2 --minibatch 64 --mode pp
     python -m repro.cli check gpt2 --minibatch 64 --inject cycle
+    python -m repro.cli bind toy-transformer --minibatch 16 --gpus 4 \\
+        --hetero 1.5,1.5,0.75,0.75 --run --json bind-hetero.json
+    python -m repro.cli bind toy-transformer --minibatch 16 --gpus 4 \\
+        --physical 2 --run
     python -m repro.cli experiment fig09 --fast
     python -m repro.cli trace toy-transformer --minibatch 8 --gpus 2 \\
         --out trace.json --text
@@ -137,6 +147,29 @@ def _build_parser() -> argparse.ArgumentParser:
              "parametric capacity certificates as JSON",
     )
 
+    bind = sub.add_parser(
+        "bind", help="late-bind the logical plan onto a physical topology"
+    )
+    add_model_args(bind)
+    bind.add_argument("--physical", type=int, default=None,
+                      help="physical GPU count (default: the logical "
+                           "count); fewer than --gpus time-slices several "
+                           "logical devices per physical GPU")
+    bind.add_argument("--hetero", metavar="SCALES", default=None,
+                      help="comma-separated per-physical-device FLOPs "
+                           "scales, e.g. 1.5,1.5,0.75,0.75 (sets the "
+                           "physical count; overrides --physical)")
+    bind.add_argument("--memory-scales", metavar="SCALES", default=None,
+                      help="comma-separated per-physical-device memory "
+                           "scales (default: 1.0 each)")
+    bind.add_argument("--run", action="store_true",
+                      help="also execute the bound schedule")
+    bind.add_argument("--iterations", type=int, default=1,
+                      help="iterations for --run (default 1)")
+    bind.add_argument("--json", metavar="PATH", default=None,
+                      help="write the binding, analyzer verdict and (with "
+                           "--run) metrics as JSON")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
@@ -210,6 +243,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--partition-for", type=float, default=0.02,
                        help="scripted partition window length in virtual "
                             "seconds (default 0.02)")
+    chaos.add_argument("--hetero", metavar="SCALES", default=None,
+                       help="run the sweep on a heterogeneous bind of the "
+                            "plan: comma-separated per-device FLOPs "
+                            "scales, one per --gpus (single-server sweeps "
+                            "only)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write per-seed outcomes, recovery "
                             "counters and elastic re-plan counts as JSON "
@@ -300,6 +338,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "check":
         return _check(args)
+    if args.command == "bind":
+        return _bind(args)
     if args.command == "experiment":
         module = importlib.import_module(
             f"repro.experiments.{EXPERIMENTS[args.name]}"
@@ -515,6 +555,91 @@ def _serve(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_scales(text: str) -> list[float]:
+    """``"1.5,0.75"`` -> ``[1.5, 0.75]``; rejects empties and <= 0."""
+    try:
+        scales = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"malformed scale list {text!r}; expected "
+                         f"comma-separated numbers like 1.5,0.75")
+    if not scales or any(s <= 0 for s in scales):
+        raise SystemExit(f"scales must be positive numbers, got {text!r}")
+    return scales
+
+
+def _bind(args: argparse.Namespace) -> int:
+    """The ``bind`` subcommand: late-bind a logical plan onto hardware.
+
+    Plans for ``--gpus`` *logical* devices, builds the requested physical
+    topology (identity / time-sliced / heterogeneous), re-certifies the
+    bound schedule with the strict analyzer against per-physical-device
+    memory, and optionally executes it.  Exits 1 when the analyzer
+    rejects the bind (e.g. a memory scale the schedule cannot fit).
+    """
+    import json as json_module
+
+    from repro.common.errors import ScheduleAnalysisError
+    from repro.virt import DeviceBinding, VirtualTopology
+
+    harmony = _harmony(args)
+    plan = harmony.plan()
+    print(plan.describe())
+    flops = _parse_scales(args.hetero) if args.hetero else None
+    memory = (_parse_scales(args.memory_scales)
+              if args.memory_scales else None)
+    if flops is None:
+        n_physical = (args.physical if args.physical is not None
+                      else args.gpus)
+        flops = [1.0] * n_physical
+    if memory is None:
+        memory = [1.0] * len(flops)
+    topology = VirtualTopology.heterogeneous(flops, memory)
+    binding = DeviceBinding.pack(args.gpus, topology)
+    payload: dict = {
+        "model": args.model,
+        "mode": args.mode,
+        "minibatch": args.minibatch,
+        "logical_gpus": args.gpus,
+        "physical_gpus": topology.n_physical,
+        "assignment": list(binding.assignment),
+        "flops_scales": flops,
+        "memory_scales": memory,
+        "fingerprint": binding.fingerprint(),
+    }
+
+    def write_json() -> None:
+        if args.json:
+            with open(args.json, "w") as fh:
+                json_module.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote JSON report to {args.json}")
+
+    try:
+        bound = harmony.bind(binding, plan=plan)
+    except ScheduleAnalysisError as exc:
+        print(f"bind REJECTED by the analyzer:\n{exc}")
+        payload.update(ok=False, error=str(exc))
+        write_json()
+        return 1
+    print(bound.describe())
+    print(f"analyzer: clean on {bound.server.describe()}")
+    payload.update(
+        ok=True,
+        device_memory_bytes=binding.device_memory(
+            bound.server.gpu.memory_bytes
+        ),
+    )
+    if args.run:
+        report = harmony.run(plan=bound, iterations=args.iterations)
+        print(report.metrics.describe())
+        payload.update(
+            iteration_time=report.metrics.iteration_time,
+            throughput=report.metrics.throughput,
+        )
+    write_json()
+    return 0
+
+
 def _trace(args: argparse.Namespace) -> int:
     """Record one traced run and export/validate the timeline.
 
@@ -606,6 +731,8 @@ def _chaos(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan, FaultSpec, ScriptedFaultPlan
 
     if args.servers > 1:
+        if args.hetero:
+            raise SystemExit("--hetero applies to single-server sweeps")
         return _cluster_chaos(args)
     spec = FaultSpec.chaos(args.intensity)
     if args.transfer_rate is not None:
@@ -614,11 +741,24 @@ def _chaos(args: argparse.Namespace) -> int:
         spec = replace(spec, task_crash_rate=args.crash_rate)
     harmony = _harmony(args)
     plan = harmony.plan()
-    print(plan.describe())
+    binding = None
+    if args.hetero:
+        from repro.virt import DeviceBinding
+
+        scales = _parse_scales(args.hetero)
+        if len(scales) != args.gpus:
+            raise SystemExit(f"--hetero needs one scale per GPU "
+                             f"({args.gpus}), got {len(scales)}")
+        binding = DeviceBinding.heterogeneous(scales)
+        # One strict-analyzer certification up front; the sweep reuses
+        # the bound plan across seeds.
+        plan = harmony.bind(binding, plan=plan)
+    print(plan.describe() if binding is None else plan.plan.describe())
     print(f"chaos sweep: {args.seeds} seed(s) from {args.seed_base}, "
           f"{spec.describe()}"
           + (f", {args.devices_lost} device(s) lost at iteration "
-             f"{args.lose_at}" if args.devices_lost else ""))
+             f"{args.lose_at}" if args.devices_lost else "")
+          + (f", heterogeneous bind x{args.hetero}" if args.hetero else ""))
     completed = failed = hard = 0
     records = []
     for seed in range(args.seed_base, args.seed_base + args.seeds):
@@ -674,6 +814,7 @@ def _chaos(args: argparse.Namespace) -> int:
             "iterations": args.iterations,
             "intensity": args.intensity,
             "devices_lost": args.devices_lost,
+            "hetero": args.hetero,
             "seed_base": args.seed_base,
             "seeds": args.seeds,
             "spec": spec.describe(),

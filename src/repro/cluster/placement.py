@@ -33,6 +33,7 @@ from repro.core.harmony import Harmony, HarmonyOptions, HarmonyPlan
 from repro.graph.graph import LayerGraph
 from repro.models.spec import ModelSpec
 from repro.models.zoo import build_model
+from repro.virt.devices import server_fingerprint
 
 CLUSTER_MODES = ("dp", "pp")
 
@@ -186,19 +187,33 @@ class ClusterPlanner:
         #: (it works for any GPU count); cluster dp/pp is the cross-server
         #: composition, not the intra-server mode.
         self.options = replace(options, mode="pp")
-        self._plans: dict[tuple[str, tuple[int, ...]], ClusterPlan] = {}
-        #: Harmony instances memoized per (server, stage model, samples):
-        #: a re-plan on survivors reuses each survivor's scheduler state.
-        self._harmonies: dict[tuple[int, str, int], Harmony] = {}
+        self._plans: dict[tuple, ClusterPlan] = {}
+        #: Harmony instances memoized per (server, stage model, samples,
+        #: hardware fingerprint): a re-plan on survivors reuses each
+        #: survivor's scheduler state, but never across a hardware swap.
+        self._harmonies: dict[tuple, Harmony] = {}
 
     def _harmony(self, server: int, model: ModelSpec,
                  samples: int) -> Harmony:
-        key = (server, model.name, samples)
+        spec = self.cluster.servers[server]
+        key = (server, model.name, samples, server_fingerprint(spec))
         if key not in self._harmonies:
             self._harmonies[key] = Harmony(
-                model, self.cluster.servers[server], samples, self.options
+                model, spec, samples, self.options
             )
         return self._harmonies[key]
+
+    def _topology_key(self, live: tuple[int, ...]) -> tuple[str, ...]:
+        """Physical fingerprints of the live servers (+ the network).
+
+        Part of every plan memo key: a placement computed against one
+        hardware mix must never be served after the cluster's specs
+        change (e.g. a server swapped for a different GPU count), even
+        though the live-index tuple looks identical.
+        """
+        return tuple(
+            server_fingerprint(self.cluster.servers[s]) for s in live
+        ) + (server_fingerprint(self.cluster.network),)
 
     def plan_for(self, live: tuple[int, ...]) -> ClusterPlan:
         """The placement for the given live-server subset; memoized.
@@ -214,7 +229,7 @@ class ClusterPlanner:
         for server in live:
             if not 0 <= server < self.cluster.n_servers:
                 raise GraphError(f"live server s{server} out of range")
-        key = (self.mode, live)
+        key = (self.mode, live, self._topology_key(live))
         if key in self._plans:
             return self._plans[key]
         if self.mode == "dp":

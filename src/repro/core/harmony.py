@@ -163,6 +163,7 @@ class Harmony:
         self.options = options
         self._plan: Optional[HarmonyPlan] = None
         self._plan_options: Optional[HarmonyOptions] = None
+        self._plan_server: Optional[ServerSpec] = None
         # Elastic re-plans memoized by (surviving GPU count, mode, search
         # + schedule settings): the logical plan depends only on how many
         # devices survive, never on *which* -- relabeling onto physical
@@ -190,7 +191,8 @@ class Harmony:
         verbatim (used by the ablation and estimator-accuracy experiments).
         """
         if (self._plan is not None and config is None
-                and self._plan_options == self.options):
+                and self._plan_options == self.options
+                and self._plan_server == self.server):
             return self._plan
         decomposed = Decomposer(seed=self.options.seed).decompose(self.model)
         profiles = Profiler(self.server.gpu).profile(decomposed)
@@ -226,6 +228,7 @@ class Harmony:
         if config is None:
             self._plan = plan
             self._plan_options = self.options
+            self._plan_server = self.server
         return plan
 
     # -- elastic re-planning ------------------------------------------------------
@@ -264,12 +267,17 @@ class Harmony:
         """
         from repro.common.errors import InfeasibleConfigError, SchedulingError
 
+        from repro.virt.devices import server_fingerprint
+
         mode = mode if mode is not None else self.options.mode
         options = replace(self.options, mode=mode)
         # Settings are part of the memo key (regression: an elastic
-        # re-plan after a settings override must not reuse a stale plan).
+        # re-plan after a settings override must not reuse a stale plan),
+        # and so is the physical server fingerprint (regression: a plan
+        # searched against one hardware mix must never be served after
+        # the server spec changes, e.g. a rebind onto different GPUs).
         key = (n_gpus, mode, options.search_settings(),
-               options.schedule_options())
+               options.schedule_options(), server_fingerprint(self.server))
         if key in self._subset_plans:
             return self._subset_plans[key]
         if n_gpus == self.server.n_gpus and mode == self.options.mode:
@@ -309,6 +317,27 @@ class Harmony:
         self._subset_plans[key] = plan
         return plan
 
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, binding: object, plan: Optional[HarmonyPlan] = None,
+             verify: bool = True):
+        """Map a logical plan onto physical hardware (``repro.virt``).
+
+        ``binding`` is a :class:`repro.virt.DeviceBinding`; the plan's
+        device ids are treated as *logical* and rewritten onto the
+        binding's physical topology -- identity (bit-identical
+        execution), fewer devices (time-slice multiplexing), or a
+        heterogeneous FLOPs/memory mix.  The bound graph is re-certified
+        by the strict analyzer against per-physical-device memory before
+        it is returned (``verify=False`` skips that, for callers that
+        re-check themselves).  Returns a :class:`repro.virt.BoundPlan`
+        accepted by :meth:`run`.
+        """
+        from repro.virt.bind import bind as bind_plan
+
+        return bind_plan(plan or self.plan(), binding,  # type: ignore[arg-type]
+                         verify=verify)
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, plan: Optional[HarmonyPlan] = None,
@@ -317,7 +346,8 @@ class Harmony:
             recovery: Optional[object] = None,
             max_steps: Optional[int] = DEFAULT_MAX_STEPS,
             horizon: Optional[float] = None,
-            trace: Optional[object] = None) -> HarmonyReport:
+            trace: Optional[object] = None,
+            binding: Optional[object] = None) -> HarmonyReport:
         """Execute training iterations on a fresh simulated server.
 
         ``iterations > 1`` runs back-to-back iterations (flush-separated,
@@ -339,14 +369,43 @@ class Harmony:
         holds the raw events for export.  Recording never consumes
         virtual time: a traced run's schedule is bit-identical to an
         untraced one.
+
+        ``plan`` may be a :class:`repro.virt.BoundPlan` (from
+        :meth:`bind`), or ``binding`` a
+        :class:`repro.virt.DeviceBinding` applied to the logical plan
+        here; either way the run executes the *bound* graph on the
+        binding's physical machine -- scaled task times and per-device
+        memory pools for heterogeneous mixes, deterministic time-slice
+        multiplexing when several logical devices share one physical
+        GPU.  An identity binding is bit-identical to no binding at all.
         """
-        plan = plan or self.plan()
-        time_model = TrueTimeModel(
-            plan.decomposed, self.server.gpu, self.server.host,
-            n_gpus=self.server.n_gpus,
+        from repro.virt.bind import BoundPlan
+        from repro.virt.timemodel import ScaledTimeModel
+
+        bound: Optional[BoundPlan] = None
+        if isinstance(plan, BoundPlan):
+            if binding is not None:
+                raise ValueError(
+                    "pass either a BoundPlan or a binding, not both"
+                )
+            bound = plan
+            plan = bound.plan
+        elif binding is not None:
+            bound = self.bind(binding, plan=plan)
+            plan = bound.plan
+        else:
+            plan = plan or self.plan()
+        exec_spec = bound.server if bound is not None else self.server
+        graph = bound.graph if bound is not None else plan.graph
+        time_model: object = TrueTimeModel(
+            plan.decomposed, exec_spec.gpu, exec_spec.host,
+            n_gpus=exec_spec.n_gpus,
         )
+        if bound is not None and not bound.binding.topology.is_uniform:
+            time_model = ScaledTimeModel(time_model, bound.binding)
         host_state = self.host_state_bytes
-        if self.options.analyze != "off":
+        if self.options.analyze != "off" and bound is None:
+            # Bound plans were already strictly certified by bind().
             self._analyze(plan, host_state)
         if fault_plan is not None and getattr(fault_plan, "enabled", False):
             # Imported lazily: repro.faults pulls in the runner (and thus
@@ -355,8 +414,14 @@ class Harmony:
             from repro.faults.runner import FaultTolerantRunner
 
             elastic_on = recovery is None or getattr(recovery, "elastic", True)
+            if bound is not None and exec_spec.n_gpus != self.server.n_gpus:
+                # The elastic replanner plans in the logical universe
+                # (this Harmony's server); under a count-changing bind
+                # its relabel targets would not match the physical
+                # device range, so escalation stops at rebind/restart.
+                elastic_on = False
             runner = FaultTolerantRunner(
-                self.server, time_model, fault_plan,  # type: ignore[arg-type]
+                exec_spec, time_model, fault_plan,  # type: ignore[arg-type]
                 policy=recovery,  # type: ignore[arg-type]
                 prefetch=self.options.prefetch,
                 host_state_bytes=host_state,
@@ -364,13 +429,17 @@ class Harmony:
                 horizon=horizon,
                 replanner=ElasticReplanner(self) if elastic_on else None,
                 trace=trace,
+                binding=bound.binding if bound is not None else None,
             )
-            metrics = runner.run(plan.graph, iterations=iterations)
-            self._attach_analytics(metrics, trace)
+            metrics = runner.run(graph, iterations=iterations)
+            self._attach_analytics(metrics, trace, n_devices=graph.n_devices)
             return HarmonyReport(plan=plan, metrics=metrics)
         sim = Simulator()
         sim.trace = trace
-        live = SimulatedServer(sim, self.server)
+        live = SimulatedServer(
+            sim, exec_spec,
+            binding=bound.binding if bound is not None else None,
+        )
         executor = Executor(
             live, time_model,
             prefetch=self.options.prefetch,
@@ -378,19 +447,22 @@ class Harmony:
             max_steps=max_steps,
             horizon=horizon,
         )
-        metrics = executor.run(plan.graph, iterations=iterations)
-        self._attach_analytics(metrics, trace)
+        metrics = executor.run(graph, iterations=iterations)
+        self._attach_analytics(metrics, trace, n_devices=graph.n_devices)
         return HarmonyReport(plan=plan, metrics=metrics)
 
     def _attach_analytics(self, metrics: RunMetrics,
-                          trace: Optional[object]) -> None:
+                          trace: Optional[object],
+                          n_devices: Optional[int] = None) -> None:
         """Fold a recorder's derived timeline analytics into the metrics."""
         if trace is None:
             return
         from repro.trace import analyze_trace
 
         metrics.trace = analyze_trace(
-            trace.events, n_devices=self.server.n_gpus,  # type: ignore[attr-defined]
+            trace.events,  # type: ignore[attr-defined]
+            n_devices=n_devices if n_devices is not None
+            else self.server.n_gpus,
             total_time=trace.extent,  # type: ignore[attr-defined]
             dropped=trace.dropped,  # type: ignore[attr-defined]
         )

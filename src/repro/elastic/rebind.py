@@ -3,7 +3,9 @@
 A Harmony task graph is valid under *any* device assignment: tasks carry a
 device *binding*, not an identity, so changing bindings never touches the
 schedule's structure (task order, dependencies, move lists).  Two
-transformations live here:
+validation wrappers live here; the graph rewrite itself is
+:func:`repro.virt.apply_device_mapping`, shared with the virtual-device
+layer (:mod:`repro.virt`) that subsumed this path:
 
 - :func:`rebind_graph` -- the recovery rebind: map each degraded source
   device onto a healthy target, leaving every other binding alone.  P2P
@@ -27,60 +29,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.errors import GpuDegradedError
-from repro.core.types import Channel, Move, Task, TaskGraph
-
-
-def _remap_move(move: Move, task_device: dict[int, int],
-                device_map: dict[int, int], new_device: int) -> Move:
-    """Re-target one move after its task moved to ``new_device``."""
-    peer = move.peer
-    if peer is not None:
-        peer = device_map.get(peer, peer)
-    if move.channel is Channel.P2P:
-        src = (
-            task_device[move.src_task]
-            if move.src_task is not None else peer
-        )
-        if src == new_device:
-            # Producer and consumer collapsed onto one device: the
-            # transfer disappears (the analyzer rejects same-device P2P).
-            return Move(
-                tensor=move.tensor, nbytes=move.nbytes,
-                channel=Channel.LOCAL, peer=None,
-                src_task=move.src_task, label=move.label,
-            )
-    if peer is not move.peer:
-        return Move(
-            tensor=move.tensor, nbytes=move.nbytes, channel=move.channel,
-            peer=peer, src_task=move.src_task, label=move.label,
-        )
-    return move
-
-
-def _apply_mapping(graph: TaskGraph, mapping: dict[int, int],
-                   n_devices: int) -> TaskGraph:
-    """Rebuild ``graph`` with every binding pushed through ``mapping``."""
-    task_device = {
-        t.tid: mapping.get(t.device, t.device) for t in graph.tasks
-    }
-    rebound = TaskGraph(
-        mode=graph.mode,
-        n_devices=n_devices,
-        pageable_swaps=graph.pageable_swaps,
-    )
-    for task in graph.tasks:
-        new_device = task_device[task.tid]
-        moved: Task = task.with_device(new_device)
-        moved.ins = [
-            _remap_move(m, task_device, mapping, new_device)
-            for m in task.ins
-        ]
-        moved.outs = [
-            _remap_move(m, task_device, mapping, new_device)
-            for m in task.outs
-        ]
-        rebound.add(moved)
-    return rebound
+from repro.core.types import TaskGraph
+from repro.virt.devices import apply_device_mapping
 
 
 def rebind_graph(graph: TaskGraph, mapping: dict[int, int],
@@ -105,7 +55,7 @@ def rebind_graph(graph: TaskGraph, mapping: dict[int, int],
                 f"cannot re-bind gpu{src} onto gpu{dst}: the target is "
                 f"itself degraded", entity=f"gpu{dst}",
             )
-    return _apply_mapping(graph, mapping, bound)
+    return apply_device_mapping(graph, mapping, bound)
 
 
 def relabel_graph(graph: TaskGraph, mapping: dict[int, int],
@@ -117,7 +67,9 @@ def relabel_graph(graph: TaskGraph, mapping: dict[int, int],
     is also a source -- ``{0: 2, 2: 3}`` -- is legal, unlike in
     :func:`rebind_graph`.  The mapping must be injective: two logical
     devices collapsing onto one physical GPU would double its memory
-    load, which the plan's capacity fit never allowed for.
+    load, which the plan's capacity fit never allowed for (deliberate
+    time-slice binds go through :class:`repro.virt.DeviceBinding`, which
+    re-certifies capacity per physical device).
 
     ``n_devices`` sets the relabeled graph's device range (defaults to
     the input graph's); pass the physical server's GPU count so the
@@ -134,4 +86,4 @@ def relabel_graph(graph: TaskGraph, mapping: dict[int, int],
             raise ValueError(
                 f"relabel target gpu{dst} outside device range [0, {bound})"
             )
-    return _apply_mapping(graph, mapping, bound)
+    return apply_device_mapping(graph, mapping, bound)

@@ -163,6 +163,7 @@ class FaultTolerantRunner:
         check_invariants: bool = True,
         replanner: Optional["ElasticReplanner"] = None,
         trace=None,
+        binding=None,
     ):
         self.spec = spec
         self.time_model = time_model
@@ -180,6 +181,11 @@ class FaultTolerantRunner:
         #: to every attempt's fresh simulator and advanced by each phase's
         #: duration so all attempts/migrations form one global timeline
         self.trace = trace
+        #: optional :class:`repro.virt.DeviceBinding` (duck-typed): every
+        #: simulated server this runner builds carries it, so per-GPU
+        #: memory pools reflect a heterogeneous bind across retries and
+        #: checkpoint restarts too
+        self.binding = binding
 
     def _mark(self, cat: str, name: str, **meta) -> None:
         """A run-level control instant at the current global trace time."""
@@ -225,7 +231,7 @@ class FaultTolerantRunner:
         injector = FaultInjector(self.plan, context=(iteration, attempt))
         sim = Simulator()
         sim.trace = self.trace
-        live = SimulatedServer(sim, self.spec)
+        live = SimulatedServer(sim, self.spec, binding=self.binding)
         injector.arm(live)
         executor = Executor(
             live, self.time_model,
@@ -403,7 +409,7 @@ class FaultTolerantRunner:
             # bit-identical to a plain executor run.
             sim = Simulator()
             sim.trace = self.trace
-            live = SimulatedServer(sim, self.spec)
+            live = SimulatedServer(sim, self.spec, binding=self.binding)
             executor = Executor(
                 live, self.time_model,
                 prefetch=self.prefetch,

@@ -77,15 +77,29 @@ class SimulatedServer:
     against it and metrics are read back from streams/links afterwards.
     """
 
-    def __init__(self, sim: Simulator, spec: ServerSpec):
+    def __init__(self, sim: Simulator, spec: ServerSpec, binding=None):
+        # ``binding`` (a repro.virt.DeviceBinding, duck-typed to avoid an
+        # import cycle) rescales per-GPU memory pools for heterogeneous
+        # binds; None keeps the spec's uniform capacity.
+        if binding is not None and binding.n_physical != spec.n_gpus:
+            raise ValueError(
+                f"binding targets {binding.n_physical} physical devices, "
+                f"server has {spec.n_gpus}"
+            )
         self.sim = sim
         self.spec = spec
+        self.binding = binding
         self.tree = PcieTree(sim, spec.topology)
         self.streams = [
             StreamSet(sim, f"gpu{g}", device=g) for g in range(spec.n_gpus)
         ]
+        capacities = (
+            binding.device_memory(spec.gpu.memory_bytes)
+            if binding is not None
+            else [spec.gpu.memory_bytes] * spec.n_gpus
+        )
         self.gpu_memory = [
-            GpuMemoryPool(capacity=spec.gpu.memory_bytes) for _ in range(spec.n_gpus)
+            GpuMemoryPool(capacity=c) for c in capacities
         ]
         self.host_memory = HostMemoryPool(capacity=spec.host.memory_bytes)
         # Shared pageable-staging engine (a host DRAM memcpy lane) that

@@ -20,8 +20,8 @@ Serving walks the degradation ladder, cheapest-and-best first:
    *before* the time is spent and counts as a planner timeout (these
    trip the breaker, exactly like crashes);
 3. **stale/near-spec plan** -- a cached plan of the same workload family
-   on fewer devices, relabeled onto the requested device range via
-   :func:`repro.elastic.rebind.relabel_graph` (late binding makes the
+   on fewer devices, embedded into the requested device range via
+   :meth:`repro.virt.DeviceBinding.embed` (late binding makes the
    schedule valid under the new labeling);
 4. **baseline plan** -- a :class:`~repro.baselines.GpipeSwapPlanner`
    schedule: pessimistic but always plannable;
@@ -43,7 +43,6 @@ from typing import Any, Callable, Generator, Optional
 from repro.common.backoff import BackoffPolicy
 from repro.common.errors import SimulationError
 from repro.core.harmony import Harmony, HarmonyOptions, HarmonyPlan
-from repro.elastic.rebind import relabel_graph
 from repro.hardware.server import ServerSpec
 from repro.models.zoo import build_model
 from repro.service.breaker import CircuitBreaker, DEFAULT_COOLDOWN
@@ -52,6 +51,7 @@ from repro.service.chaos import ServiceFaultPlan
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import Outcome, PlanRequest, RequestResult
 from repro.sim.engine import SimEvent, Simulator
+from repro.virt.devices import DeviceBinding
 
 
 def _default_server_factory(n_gpus: int) -> ServerSpec:
@@ -355,11 +355,13 @@ class PlannerService:
             near = self.cache.near(family, request.gpus, exclude=key)
             if near is not None and fits(self.config.stale_cost):
                 source_gpus, source_key, source = near
-                graph = relabel_graph(
-                    source.graph,
-                    {d: d for d in range(source.graph.n_devices)},
-                    n_devices=request.gpus,
+                # The cached plan's logical devices embed in-place into
+                # the request's (larger or equal) physical device range;
+                # late binding makes the graph rewrite purely mechanical.
+                embedding = DeviceBinding.embed(
+                    source.graph.n_devices, request.gpus
                 )
+                graph = embedding.apply(source.graph)
                 yield self.sim.timeout(self.config.stale_cost)
                 self.metrics.stale_rebinds += 1
                 stale = StalePlan(

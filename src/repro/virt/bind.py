@@ -1,0 +1,123 @@
+"""Binding a Harmony plan onto physical hardware.
+
+:func:`bind` is the late-binding step the tentpole split enables:
+``Harmony.plan`` targets logical devices, and ``bind`` maps the finished
+plan onto a :class:`~repro.virt.devices.VirtualTopology` -- identity,
+time-sliced, or heterogeneous -- producing a :class:`BoundPlan` the
+runtime can execute.  Every bind is re-certified by the static analyzer
+against the *physical* machine: structural passes on the rewritten graph
+(a time-slice bind must still be deadlock-free), plus capacity with
+per-physical-device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.types import TaskGraph
+from repro.hardware.server import ServerSpec
+from repro.virt.devices import DeviceBinding
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import AnalysisReport
+    from repro.core.harmony import HarmonyPlan
+
+
+def physical_server(base: ServerSpec, binding: DeviceBinding) -> ServerSpec:
+    """The server spec the bound graph actually runs on.
+
+    Same-count binds keep the planned spec (identity binds must be
+    spec-identical, and heterogeneity is carried by the binding, not the
+    spec); count-changing binds keep the per-GPU/host specs and resize
+    the PCIe tree, mirroring ``Harmony.reduced_server``.
+    """
+    n = binding.n_physical
+    if n == base.n_gpus:
+        return base
+    return ServerSpec(
+        n_gpus=n,
+        gpu=base.gpu,
+        host=base.host,
+        topology=replace(base.topology, n_gpus=n),
+    )
+
+
+@dataclass
+class BoundPlan:
+    """A logical plan mapped onto concrete hardware, analyzer-certified."""
+
+    plan: "HarmonyPlan"
+    binding: DeviceBinding
+    graph: TaskGraph       # device bindings rewritten onto physical ids
+    server: ServerSpec     # the physical machine (count-adjusted)
+    report: Optional["AnalysisReport"] = None
+
+    def describe(self) -> str:
+        lines = [self.binding.describe()]
+        if not self.binding.topology.is_uniform:
+            lines.append(f"  topology: {self.binding.topology.describe()}")
+        lines.append(
+            f"  bound graph: {len(self.graph)} tasks on "
+            f"{self.graph.n_devices} device(s)"
+        )
+        return "\n".join(lines)
+
+
+def verify_bound(graph: TaskGraph, server: ServerSpec,
+                 binding: DeviceBinding, *,
+                 options: Optional[object] = None,
+                 host_state_bytes: Optional[int] = None,
+                 host_input_bytes: Optional[int] = None,
+                 prefetch: bool = True) -> "AnalysisReport":
+    """Strict analyzer run against the physical machine.
+
+    Structural passes prove the rewritten graph is still well-formed and
+    deadlock-free (the safety argument for time-slice multiplexing: one
+    driver per physical device walks its merged task list in global tid
+    order, so the analyzer's wait-graph check covers the interleaving);
+    the capacity and parametric passes re-evaluate every per-device bound
+    against that device's *scaled* memory.  Raises
+    :class:`~repro.common.errors.ScheduleAnalysisError` on any error.
+    """
+    from repro.analysis import check
+
+    return check(
+        graph,
+        server=server,
+        options=options,  # type: ignore[arg-type]
+        host_state_bytes=host_state_bytes,
+        host_input_bytes=host_input_bytes,
+        prefetch=prefetch,
+        device_memory=binding.device_memory(server.gpu.memory_bytes),
+    )
+
+
+def bind(plan: "HarmonyPlan", binding: DeviceBinding, *,
+         verify: bool = True) -> BoundPlan:
+    """Map a logical plan onto physical hardware.
+
+    Validates the shape (the binding must cover exactly the plan's
+    logical device count), rewrites the graph, derives the physical
+    server spec, and -- unless ``verify=False`` -- re-certifies the
+    result with the strict analyzer before handing it to the runtime.
+    """
+    if binding.n_logical != plan.graph.n_devices:
+        raise ValueError(
+            f"binding covers {binding.n_logical} logical devices but the "
+            f"plan targets {plan.graph.n_devices}"
+        )
+    graph = binding.apply(plan.graph)
+    server = physical_server(plan.server, binding)
+    report = None
+    if verify:
+        host_input = plan.minibatch * plan.model.sample_bytes
+        report = verify_bound(
+            graph, server, binding,
+            options=plan.options.schedule_options(),
+            host_state_bytes=plan.model.model_state_bytes + host_input,
+            host_input_bytes=host_input,
+            prefetch=plan.options.prefetch,
+        )
+    return BoundPlan(plan=plan, binding=binding, graph=graph,
+                     server=server, report=report)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import verify_graph
+from repro.analysis import check, verify_graph
 from repro.core.decomposer import Decomposer
 from repro.core.profiler import Profiler
 from repro.hardware.gpu import GpuSpec
@@ -23,8 +23,13 @@ def _verify_executed_graphs(request, monkeypatch):
     must first pass the analyzer's structural passes (structure, deadlock,
     dataflow, channel) in strict mode.  Capacity and ablation passes need
     context a blanket hook cannot reconstruct faithfully -- dedicated
-    tests cover those.  Tests that deliberately execute broken graphs opt
-    out with ``@pytest.mark.no_graph_analysis``.
+    tests cover those.  Exception: a *bound* graph (the executor's server
+    carries a ``repro.virt`` DeviceBinding) additionally gets the
+    capacity pass against per-physical-device memory -- the binding
+    supplies exactly the context the blanket hook otherwise lacks, so
+    every time-sliced or heterogeneous bind executed anywhere in the
+    suite is re-certified.  Tests that deliberately execute broken graphs
+    opt out with ``@pytest.mark.no_graph_analysis``.
 
     Additionally, every run is executed with a trace recorder attached
     (unless the test brought its own) and the recorded timeline is held
@@ -43,6 +48,13 @@ def _verify_executed_graphs(request, monkeypatch):
     def run(self, graph, iterations=1, **kwargs):
         if check_graphs:
             verify_graph(graph)
+            binding = getattr(self.server, "binding", None)
+            if binding is not None:
+                spec = self.server.spec
+                check(graph, server=spec, prefetch=self.prefetch,
+                      device_memory=binding.device_memory(
+                          spec.gpu.memory_bytes),
+                      passes=["capacity"])
         recorder = None
         if check_traces and self.sim.trace is None:
             recorder = TraceRecorder()

@@ -1,0 +1,166 @@
+"""Execution semantics of non-identity binds.
+
+Time-slice binds must be deterministic (one driver per physical device
+walks the merged task list in global tid order -- FIFO multiplexing, no
+new engine machinery); heterogeneous binds must actually rescale compute
+times and per-device memory pools; undersized memory must be refused by
+the analyzer *before* execution.
+"""
+
+import pytest
+
+from repro.common.errors import ScheduleAnalysisError
+from repro.core.harmony import Harmony, HarmonyOptions
+from repro.experiments.common import server_for
+from repro.runtime.timemodel import TrueTimeModel
+from repro.trace import TraceRecorder
+from repro.virt import DeviceBinding, ScaledTimeModel, VirtualTopology
+
+GPUS = 4
+MINIBATCH = 16
+
+
+@pytest.fixture(scope="module")
+def harmony():
+    return Harmony("toy-transformer", server_for(GPUS), MINIBATCH,
+                   options=HarmonyOptions(mode="pp"))
+
+
+class TestTimeSlice:
+    def test_two_gpu_bind_executes(self, harmony):
+        bound = harmony.bind(DeviceBinding.pack(
+            GPUS, VirtualTopology.uniform(2)))
+        report = harmony.run(plan=bound)
+        assert report.metrics.iteration_time > 0
+
+    def test_single_gpu_bind_executes(self, harmony):
+        """Full oversubscription: every logical device on one GPU."""
+        bound = harmony.bind(DeviceBinding.pack(
+            GPUS, VirtualTopology.uniform(1)))
+        report = harmony.run(plan=bound)
+        assert report.metrics.iteration_time > 0
+
+    def test_time_slice_is_deterministic(self, harmony):
+        bound = harmony.bind(DeviceBinding.pack(
+            GPUS, VirtualTopology.uniform(2)))
+        first, second = TraceRecorder(), TraceRecorder()
+        a = harmony.run(plan=bound, trace=first)
+        b = harmony.run(plan=bound, trace=second)
+        assert first.canonical() == second.canonical()
+        assert a.metrics.iteration_time.hex() \
+            == b.metrics.iteration_time.hex()
+
+    def test_multiplexing_conserves_gpu_work(self, harmony):
+        """Time-slicing reorders GPU kernels, it never changes them: the
+        total GPU compute busy time of the 1-GPU bind equals the unbound
+        run's across all four devices."""
+        def gpu_compute_seconds(recorder):
+            return sum(
+                e.duration for e in recorder.events
+                if e.cat == "compute" and e.lane == "compute"
+            )
+
+        unbound = TraceRecorder()
+        harmony.run(trace=unbound)
+        bound = TraceRecorder()
+        harmony.run(binding=DeviceBinding.pack(
+            GPUS, VirtualTopology.uniform(1)), trace=bound)
+        assert {e.device for e in bound.events if e.lane == "compute"} \
+            == {0}
+        assert gpu_compute_seconds(bound) \
+            == pytest.approx(gpu_compute_seconds(unbound))
+
+
+class TestHeterogeneous:
+    def test_scaled_time_model_divides_by_flops_scale(self, harmony):
+        plan = harmony.plan()
+        base = TrueTimeModel(plan.decomposed, harmony.server.gpu,
+                             harmony.server.host, n_gpus=GPUS)
+        scaled = ScaledTimeModel(
+            base, DeviceBinding.heterogeneous([2.0, 1.0, 1.0, 0.5]))
+        from repro.core.types import TaskKind
+
+        checked = 0
+        for task in plan.graph.tasks:
+            if task.kind is TaskKind.UPD:
+                continue
+            for u in task.microbatches:
+                checked += 1
+                t, s = base.microbatch_time(task, u), \
+                    scaled.microbatch_time(task, u)
+                if task.device == 0:
+                    assert s == t / 2.0
+                elif task.device == 3:
+                    assert s == t / 0.5
+                else:
+                    assert s == t  # scale 1.0 is an exact passthrough
+        assert checked > 0
+
+    def test_cpu_updates_are_not_scaled(self, harmony):
+        plan = harmony.plan()
+        base = TrueTimeModel(plan.decomposed, harmony.server.gpu,
+                             harmony.server.host, n_gpus=GPUS)
+        scaled = ScaledTimeModel(
+            base, DeviceBinding.heterogeneous([2.0] * GPUS))
+        from repro.core.types import TaskKind
+
+        cpu_updates = [t for t in plan.graph.tasks
+                       if t.kind is TaskKind.UPD and t.on_cpu]
+        assert cpu_updates, "fixture should offload the optimizer"
+        for task in cpu_updates:
+            assert scaled.update_time(task) == base.update_time(task)
+
+    def test_uniformly_faster_hardware_is_not_slower(self, harmony):
+        planned = harmony.run().metrics.iteration_time
+        fast = harmony.run(binding=DeviceBinding.heterogeneous(
+            [4.0] * GPUS)).metrics.iteration_time
+        assert fast <= planned
+
+    def test_hetero_run_is_deterministic(self, harmony):
+        binding = DeviceBinding.heterogeneous([1.5, 1.5, 0.75, 0.75])
+        bound = harmony.bind(binding)
+        first, second = TraceRecorder(), TraceRecorder()
+        harmony.run(plan=bound, trace=first)
+        harmony.run(plan=bound, trace=second)
+        assert first.canonical() == second.canonical()
+
+    def test_memory_pools_reflect_the_binding(self, harmony):
+        from repro.hardware.server import SimulatedServer
+        from repro.sim.engine import Simulator
+        from repro.virt import physical_server
+
+        binding = DeviceBinding.heterogeneous([1.0] * GPUS,
+                                              [1.0, 1.0, 0.5, 0.75])
+        spec = physical_server(harmony.server, binding)
+        live = SimulatedServer(Simulator(), spec, binding=binding)
+        base = spec.gpu.memory_bytes
+        assert [p.capacity for p in live.gpu_memory] \
+            == [base, base, base // 2, base * 3 // 4]
+
+    def test_undersized_memory_is_refused_before_execution(self, harmony):
+        tiny = DeviceBinding.heterogeneous([1.0] * GPUS,
+                                           [1.0, 1.0, 1.0, 1e-6])
+        with pytest.raises(ScheduleAnalysisError, match="capacity"):
+            harmony.bind(tiny)
+
+
+class TestFaultPath:
+    def test_chaos_on_a_hetero_bind_completes(self, harmony):
+        from repro.faults import FaultPlan, FaultSpec
+
+        binding = DeviceBinding.heterogeneous([1.25, 1.0, 1.0, 0.75])
+        report = harmony.run(
+            binding=binding, iterations=2,
+            fault_plan=FaultPlan(FaultSpec.chaos(1.0), seed=0),
+        )
+        assert report.metrics.iteration_time > 0
+
+    def test_chaos_on_a_time_sliced_bind_completes(self, harmony):
+        from repro.faults import FaultPlan, FaultSpec
+
+        binding = DeviceBinding.pack(GPUS, VirtualTopology.uniform(2))
+        report = harmony.run(
+            binding=binding, iterations=2,
+            fault_plan=FaultPlan(FaultSpec.chaos(1.0), seed=1),
+        )
+        assert report.metrics.iteration_time > 0
