@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke cluster-smoke trace-smoke bench-smoke bench-baseline service-smoke virt-smoke
+.PHONY: check lint typecheck test analyze analyze-smoke chaos-smoke cluster-smoke trace-smoke bench-smoke bench-baseline service-smoke virt-smoke fleet-smoke
 
 # Full gate: lint + typecheck + tier-1 tests.  Lint/typecheck legs skip
 # themselves (with a message) when ruff/mypy are not installed.
@@ -78,6 +78,20 @@ service-smoke:
 	    --json service-chaos.json
 	python -m repro.cli serve --requests 200 --seed 1 \
 	    --check-determinism --max-shed-rate 0.10 --json service-clean.json
+
+# Fleet smoke: multi-tenant co-placement storms on a shared fleet.  A
+# clean 2-server storm (mixed widths and memory shares, bit-identity
+# checked) and a deliberately contended 1-server storm that must reach
+# all three placement kinds (identity / partition / time-slice) and
+# shed the overflow with a typed reason.  Exits nonzero on a leaked
+# reservation, a determinism mismatch or an excessive shed rate;
+# machine-readable outcomes land in fleet-*.json.
+fleet-smoke:
+	python -m repro.cli serve --requests 60 --seed 0 --fleet-servers 2 \
+	    --check-determinism --max-shed-rate 0.35 --json fleet-clean.json
+	python -m repro.cli serve --requests 80 --seed 1 --fleet-servers 1 \
+	    --workers 4 --check-determinism --max-shed-rate 0.5 \
+	    --json fleet-contended.json
 
 # Virtual-device smoke: one 4-logical-GPU plan bound three ways --
 # identity (bit-identical), heterogeneous 2-fast/2-slow, and

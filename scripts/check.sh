@@ -62,6 +62,19 @@ python -m repro.cli serve --requests 200 --seed 1 \
     --check-determinism --max-shed-rate 0.10 --json service-clean.json \
     || failed=1
 
+echo "== fleet smoke =="
+# Multi-tenant fleet co-placement storms: a clean 2-server storm and a
+# contended 1-server storm (mixed widths/shares; identity, partition AND
+# time-slice placements; typed capacity sheds).  Exits nonzero on a
+# leaked reservation, a determinism mismatch or an excessive shed rate.
+# JSON artifacts land in fleet-*.json.
+python -m repro.cli serve --requests 60 --seed 0 --fleet-servers 2 \
+    --check-determinism --max-shed-rate 0.35 --json fleet-clean.json \
+    || failed=1
+python -m repro.cli serve --requests 80 --seed 1 --fleet-servers 1 \
+    --workers 4 --check-determinism --max-shed-rate 0.5 \
+    --json fleet-contended.json || failed=1
+
 echo "== virt smoke =="
 # Virtual-device binds: the same 4-logical-GPU plan bound identically,
 # heterogeneously (2 fast + 2 slow), and oversubscribed onto 2 physical

@@ -297,6 +297,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quota", type=int, default=8,
                        help="per-tenant in-flight quota, 0 = unlimited "
                             "(default 8)")
+    serve.add_argument("--fleet-servers", type=int, default=0,
+                       help="co-place requests onto a shared fleet of "
+                            "this many simulated servers (0 = no fleet); "
+                            "the storm then mixes 2- and 4-GPU jobs at "
+                            "full and half memory shares and sheds "
+                            "placement misses with a typed reason")
+    serve.add_argument("--fleet-gpus", type=int, default=4,
+                       help="GPUs per fleet server (default 4)")
     serve.add_argument("--chaos", action="store_true",
                        help="inject service-level chaos (slow planners, "
                             "planner crashes, poisoned requests)")
@@ -487,6 +495,15 @@ def _serve(args: argparse.Namespace) -> int:
         scripted_workload,
     )
 
+    fleet_on = args.fleet_servers > 0
+    workload_kwargs: dict = {}
+    if fleet_on:
+        # The fleet storm mixes widths and memory shares so every
+        # placement rung (identity / partition / time-slice) is live.
+        workload_kwargs = {
+            "gpus": (2, args.fleet_gpus),
+            "shares": (1.0, 0.5),
+        }
     requests = scripted_workload(
         args.requests,
         seed=args.seed,
@@ -494,6 +511,7 @@ def _serve(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         deadline=args.deadline,
         execute_fraction=args.execute_fraction,
+        **workload_kwargs,
     )
     spec = (ServiceChaosSpec.chaos(args.intensity) if args.chaos
             else ServiceChaosSpec.none())
@@ -504,10 +522,17 @@ def _serve(args: argparse.Namespace) -> int:
     )
 
     def storm() -> PlannerService:
+        fleet = None
+        if fleet_on:
+            from repro.fleet import FleetPlacer, fleet_of
+
+            fleet = FleetPlacer(fleet_of(args.fleet_servers,
+                                         args.fleet_gpus))
         service = PlannerService(
             config,
             chaos=ServiceFaultPlan(spec, seed=args.seed),
             seed=args.seed,
+            fleet=fleet,
         )
         service.run(requests)
         return service
@@ -516,8 +541,12 @@ def _serve(args: argparse.Namespace) -> int:
     metrics = service.metrics
     print(f"served {args.requests} request(s), seed {args.seed}"
           + (f", chaos intensity {args.intensity} ({spec.describe()})"
-             if args.chaos else ", no chaos"))
+             if args.chaos else ", no chaos")
+          + (f", fleet of {args.fleet_servers} server(s) x "
+             f"{args.fleet_gpus} GPUs" if fleet_on else ""))
     print(service.run_metrics().describe())
+    if fleet_on and service.fleet is not None:
+        print(service.fleet.describe())
 
     failures = []
     if args.check_determinism:
@@ -540,6 +569,8 @@ def _serve(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "chaos": spec.describe() if args.chaos else None,
             "intensity": args.intensity if args.chaos else 0.0,
+            "fleet": (service.fleet.snapshot()
+                      if fleet_on and service.fleet is not None else None),
             "metrics": metrics.snapshot(),
             "breaker": service.breaker.describe(),
             "results": [r.describe() for r in service.results],
@@ -593,7 +624,12 @@ def _bind(args: argparse.Namespace) -> int:
         flops = [1.0] * n_physical
     if memory is None:
         memory = [1.0] * len(flops)
-    topology = VirtualTopology.heterogeneous(flops, memory)
+    try:
+        topology = VirtualTopology.heterogeneous(flops, memory)
+    except ValueError as exc:
+        # e.g. --memory-scales length disagreeing with the physical
+        # device count: a usage error, not a traceback.
+        raise SystemExit(f"bad topology: {exc}")
     binding = DeviceBinding.pack(args.gpus, topology)
     payload: dict = {
         "model": args.model,

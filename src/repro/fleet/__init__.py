@@ -1,0 +1,30 @@
+"""Multi-tenant fleet co-placement: many jobs on shared servers.
+
+A :class:`FleetPlacer` tracks per-server residual GPU/memory capacity
+over a :class:`~repro.cluster.spec.ClusterSpec` and packs admitted jobs
+onto it through :class:`~repro.virt.devices.DeviceBinding` -- the same
+late-binding layer single-job binds use, not a new placement mechanism.
+A placement is a :class:`FleetReservation`; turning it into something
+executable goes through :meth:`FleetPlacer.bind`, which re-certifies the
+job's plan with the static analyzer against the tenant's carved memory
+partition.  See DESIGN.md §16.
+
+    >>> from repro.fleet import FleetPlacer, fleet_of
+    >>> placer = FleetPlacer(fleet_of(2, 4))
+    >>> res = placer.reserve("tenant0", gpus=4)    # identity placement
+    >>> bound = placer.bind(res, plan)             # doctest: +SKIP
+"""
+
+from repro.fleet.placer import (
+    FleetPlacer,
+    FleetReservation,
+    NoCapacityError,
+    fleet_of,
+)
+
+__all__ = [
+    "FleetPlacer",
+    "FleetReservation",
+    "NoCapacityError",
+    "fleet_of",
+]

@@ -16,7 +16,10 @@ seeded request storm through :class:`repro.service.PlannerService`
 (``serve_seconds`` / ``requests_per_second``) alongside the storm's
 deterministic virtual-time facts (cache hit rate, shed rate, p50/p99
 virtual latency, breaker trips) so two reports can be checked to have
-measured the same storm.
+measured the same storm; and one report-level ``fleet`` section timing
+the same service with a :class:`repro.fleet.FleetPlacer` attached (a
+mixed-width, mixed-share storm co-placed onto a shared 2-server fleet,
+with the storm's deterministic placement/utilization facts).
 
 Every timing is the **minimum over ``repeats``** (the standard
 low-noise wall-clock estimator) and each repeat uses a fresh
@@ -220,6 +223,69 @@ def _time_service(repeats: int) -> dict[str, Any]:
     }
 
 
+#: The storm every report's ``fleet`` section measures: a clean
+#: mixed-width, mixed-share storm co-placed onto a shared 2-server
+#: fleet.  Fixed here so fleet numbers are comparable across reports.
+FLEET_STORM_REQUESTS = 120
+FLEET_STORM_SEED = 0
+FLEET_STORM_SERVERS = 2
+FLEET_STORM_GPUS = 4
+
+
+def _time_fleet(repeats: int) -> dict[str, Any]:
+    """Serve the fixed fleet storm; returns the ``fleet`` record.
+
+    ``serve_seconds`` is the min over ``repeats`` of the wall clock of
+    a fleet-backed ``PlannerService.run`` on a fresh service + fresh
+    placer each repeat (placement arithmetic, bind certification and
+    the utilization integral are all on this path); everything else is
+    a deterministic fact of the seeded storm.
+    """
+    from repro.fleet import FleetPlacer, fleet_of
+    from repro.service import (
+        Outcome, PlannerService, ServiceConfig, scripted_workload,
+    )
+
+    requests = scripted_workload(
+        FLEET_STORM_REQUESTS, seed=FLEET_STORM_SEED,
+        gpus=(2, FLEET_STORM_GPUS), shares=(1.0, 0.5),
+    )
+    serve_s = float("inf")
+    metrics = None
+    for _ in range(repeats):
+        service = PlannerService(
+            ServiceConfig(), seed=FLEET_STORM_SEED,
+            fleet=FleetPlacer(fleet_of(FLEET_STORM_SERVERS,
+                                       FLEET_STORM_GPUS)),
+        )
+        t0 = time.perf_counter()
+        service.run(requests)
+        serve_s = min(serve_s, time.perf_counter() - t0)
+        metrics = service.metrics
+
+    assert metrics is not None
+    factor = injected_slowdown()
+    serve_s *= factor
+    return {
+        "requests": FLEET_STORM_REQUESTS,
+        "seed": FLEET_STORM_SEED,
+        "servers": FLEET_STORM_SERVERS,
+        "gpus_per_server": FLEET_STORM_GPUS,
+        "serve_seconds": serve_s,
+        "requests_per_second": (
+            FLEET_STORM_REQUESTS / serve_s if serve_s > 0 else 0.0
+        ),
+        "utilization": metrics.fleet_utilization,
+        "placements": metrics.fleet_placements,
+        "identity": metrics.fleet_identity,
+        "partitioned": metrics.fleet_partitioned,
+        "timesliced": metrics.fleet_timesliced,
+        "certified": metrics.fleet_certified,
+        "rejections": metrics.fleet_rejections,
+        "shed_no_capacity": metrics.of(Outcome.SHED_NO_CAPACITY),
+    }
+
+
 def run_bench(suite: str = "smoke", repeats: int = 3,
               search_workers: int = 1,
               cases: Optional[Sequence[BenchCase]] = None) -> dict[str, Any]:
@@ -242,6 +308,7 @@ def run_bench(suite: str = "smoke", repeats: int = 3,
             _time_case(case, repeats, search_workers) for case in picked
         ],
         "service": _time_service(repeats),
+        "fleet": _time_fleet(repeats),
     }
     check_report(report)
     return report
@@ -294,6 +361,20 @@ def render_report(report: dict[str, Any]) -> str:
             f"shed {svc['shed_rate'] * 100:.1f}%, "
             f"p99 latency {svc['p99_latency_virtual']:.2f}s virtual, "
             f"{svc['breaker_trips']} breaker trip(s)"
+        )
+    fleet = report.get("fleet")
+    if fleet:
+        rows.append(
+            f"fleet storm: {fleet['requests']} requests on "
+            f"{fleet['servers']}x{fleet['gpus_per_server']} GPUs in "
+            f"{fleet['serve_seconds']:.3f}s wall "
+            f"({fleet['requests_per_second']:.0f} req/s), "
+            f"utilization {fleet['utilization'] * 100:.0f}%, "
+            f"{fleet['placements']} placement(s) "
+            f"({fleet['identity']}/{fleet['partitioned']}"
+            f"/{fleet['timesliced']} id/part/slice), "
+            f"{fleet['rejections']} rejection(s), "
+            f"{fleet['shed_no_capacity']} capacity shed(s)"
         )
     return "\n".join(rows)
 

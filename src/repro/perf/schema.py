@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The service-throughput benchmark: one seeded request storm against
 #: :class:`repro.service.PlannerService` (virtual latency/shed numbers
@@ -46,6 +46,41 @@ _SERVICE_SCHEMA: dict[str, Any] = {
         "p50_latency_virtual": {"type": "number", "minimum": 0},
         "p99_latency_virtual": {"type": "number", "minimum": 0},
         "breaker_trips": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: The fleet co-placement benchmark: a clean seeded storm of mixed-width
+#: mixed-share jobs co-placed onto a shared fleet
+#: (:class:`repro.fleet.FleetPlacer` feeding the service's placement
+#: rung).  ``serve_seconds`` is wall clock; everything else is a
+#: deterministic virtual-time fact of the seeded storm.
+_FLEET_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "additionalProperties": False,
+    "required": [
+        "requests", "seed", "servers", "gpus_per_server",
+        "serve_seconds", "requests_per_second", "utilization",
+        "placements", "identity", "partitioned", "timesliced",
+        "certified", "rejections", "shed_no_capacity",
+    ],
+    "properties": {
+        "requests": {"type": "integer", "minimum": 1},
+        "seed": {"type": "integer", "minimum": 0},
+        "servers": {"type": "integer", "minimum": 1},
+        "gpus_per_server": {"type": "integer", "minimum": 1},
+        # Wall seconds to serve the whole storm, min over repeats, after
+        # any injected slowdown multiplier.
+        "serve_seconds": {"type": "number", "minimum": 0},
+        "requests_per_second": {"type": "number", "minimum": 0},
+        # Deterministic virtual-time facts of the seeded storm.
+        "utilization": {"type": "number", "minimum": 0},
+        "placements": {"type": "integer", "minimum": 0},
+        "identity": {"type": "integer", "minimum": 0},
+        "partitioned": {"type": "integer", "minimum": 0},
+        "timesliced": {"type": "integer", "minimum": 0},
+        "certified": {"type": "integer", "minimum": 0},
+        "rejections": {"type": "integer", "minimum": 0},
+        "shed_no_capacity": {"type": "integer", "minimum": 0},
     },
 }
 
@@ -90,6 +125,7 @@ BENCH_SCHEMA: dict[str, Any] = {
     "required": [
         "schema_version", "suite", "repeats", "calibration_seconds",
         "perf_disabled", "search_workers", "host", "cases", "service",
+        "fleet",
     ],
     "properties": {
         "schema_version": {"type": "integer", "enum": [SCHEMA_VERSION]},
@@ -114,6 +150,7 @@ BENCH_SCHEMA: dict[str, Any] = {
         },
         "cases": {"type": "array", "items": _CASE_SCHEMA},
         "service": _SERVICE_SCHEMA,
+        "fleet": _FLEET_SCHEMA,
     },
 }
 

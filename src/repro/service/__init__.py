@@ -23,6 +23,12 @@ first:
   (:func:`repro.elastic.rebind.relabel_graph`) -> cheap baseline-scheme
   plan -> shed with a reason.  Every admitted request resolves
   terminally; nothing hangs, nothing is silently dropped;
+- **fleet co-placement** (:mod:`repro.fleet`, optional): with a
+  :class:`~repro.fleet.FleetPlacer` attached, a placement rung between
+  admission and planning carves each job's devices out of a shared
+  server fleet at the job's declared memory share; misses shed with a
+  typed ``SHED_NO_CAPACITY`` and served plans are analyzer-certified
+  against the tenant's partition;
 - **chaos** (:mod:`repro.service.chaos`): seeded service-level faults
   (slow planners, crashed planner attempts, poisoned requests) drawn
   statelessly like every :mod:`repro.faults` decision, so an entire

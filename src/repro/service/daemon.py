@@ -9,6 +9,16 @@ miss runs the actual Decomposer/Profiler/Scheduler stack (wall clock,
 memoized per content key), so a served plan is exactly what
 ``repro plan`` would print.
 
+With a :class:`~repro.fleet.FleetPlacer` attached, a placement rung runs
+between admission and planning: the request's logical devices are
+reserved on the shared fleet at the request's declared memory share
+(identity / partition / time-slice, per the placer's ladder).  A miss is
+a typed :attr:`~repro.service.request.Outcome.SHED_NO_CAPACITY`; a hit
+holds the carved capacity until the request resolves, and served plans
+are re-certified by the analyzer against the tenant's partition before
+they count as served (degraded plans are plan-only and skip
+certification -- they carry no execution promise).
+
 Serving walks the degradation ladder, cheapest-and-best first:
 
 1. **exact cache hit** -- the content-addressed key matches a plan
@@ -38,10 +48,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
+from fractions import Fraction
 from typing import Any, Callable, Generator, Optional
 
 from repro.common.backoff import BackoffPolicy
-from repro.common.errors import SimulationError
+from repro.common.errors import ScheduleAnalysisError, SimulationError
+from repro.fleet.placer import FleetPlacer, FleetReservation
 from repro.core.harmony import Harmony, HarmonyOptions, HarmonyPlan
 from repro.hardware.server import ServerSpec
 from repro.models.zoo import build_model
@@ -83,6 +95,8 @@ class ServiceConfig:
     baseline_cost: float = 0.50
     #: virtual seconds to detect and reject a poisoned request
     detect_cost: float = 0.01
+    #: virtual seconds for a fleet placement decision (fleet mode only)
+    place_cost: float = 0.05
     #: retry schedule for crashed planner attempts (seeded jitter
     #: decorrelates a storm of retrying requests)
     retry: BackoffPolicy = BackoffPolicy(
@@ -115,7 +129,7 @@ class ServiceConfig:
                 f"default_deadline must be > 0, got {self.default_deadline}"
             )
         for name in ("plan_cost", "cache_cost", "stale_cost",
-                     "baseline_cost", "detect_cost"):
+                     "baseline_cost", "detect_cost", "place_cost"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if self.breaker_threshold < 1:
@@ -149,6 +163,7 @@ class PlannerService:
         trace: Optional[Any] = None,
         server_factory: Callable[[int], ServerSpec] = _default_server_factory,
         seed: int = 0,
+        fleet: Optional[FleetPlacer] = None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.options = options if options is not None else HarmonyOptions()
@@ -182,6 +197,15 @@ class PlannerService:
         self._run_seconds: dict[str, float] = {}
         #: (model fp, gpus, minibatch) -> memoized baseline plan
         self._baselines: dict[tuple, Any] = {}
+        self.fleet = fleet
+        #: rid -> (live reservation, virtual placement time)
+        self._reservations: dict[int, tuple[FleetReservation, float]] = {}
+        #: (plan key, width, share, n_logical) -> certified bound plan
+        #: (None = analyzer rejected that placement shape)
+        self.fleet_bounds: dict[tuple, Optional[Any]] = {}
+        #: rid -> its reservation, kept after release for reporting
+        self.fleet_placed: dict[int, FleetReservation] = {}
+        self._fleet_last = 0.0
 
     # -- public API --------------------------------------------------------------
 
@@ -205,6 +229,10 @@ class PlannerService:
         self.metrics.cache_misses = self.cache.misses
         self.metrics.breaker_trips = self.breaker.trips
         self.metrics.breaker_flaps = self.breaker.flaps
+        if self.fleet is not None:
+            self._fleet_tick(self.sim.now)
+            self.metrics.fleet_servers = self.fleet.n_servers
+            self.metrics.fleet_gpus = self.fleet.total_gpus
         return sorted(self.results, key=lambda r: r.request.rid)
 
     def run_metrics(self) -> "Any":
@@ -313,6 +341,27 @@ class PlannerService:
                 request, Outcome.FAILED_POISONED, detail=str(exc), wait=wait,
             )
             return
+        # Fleet rung: carve the job's devices out of the shared fleet
+        # before any planning happens.  The reservation is held until
+        # the request resolves (released in _resolve); a placement miss
+        # is a typed shed, not a queue hang.
+        if self.fleet is not None:
+            if self.config.place_cost > 0:
+                yield self.sim.timeout(self.config.place_cost)
+            reservation = self.fleet.reserve(
+                request.tenant, request.gpus,
+                share=Fraction(request.memory_share),
+            )
+            if reservation is None:
+                self._resolve(
+                    request, Outcome.SHED_NO_CAPACITY,
+                    detail=f"no server can host {request.gpus} device(s) "
+                           f"at share {request.memory_share:g}",
+                    wait=wait,
+                )
+                return
+            self._place(request, reservation)
+
         server = self._server(request.gpus)
         options = replace(self.options, mode=request.mode)
         key = plan_key(model, server, request.minibatch, options)
@@ -482,7 +531,28 @@ class PlannerService:
                 key: str, wait: float, deadline: float,
                 attempts: int = 0) -> Generator:
         """Resolve a served request, running one simulated iteration
-        first for run requests (when it fits the deadline)."""
+        first for run requests (when it fits the deadline).
+
+        Fleet mode gates serving on certification: the plan is bound
+        onto the held reservation and re-proved by the analyzer against
+        the tenant's memory partition (memoized per placement shape, so
+        a storm pays each unique analysis once).  A rejected bind sheds
+        with ``SHED_NO_CAPACITY`` -- the fleet cannot honestly host the
+        job at its declared share."""
+        if self.fleet is not None:
+            held = self._reservations.get(request.rid)
+            if held is not None:
+                bound = self._certify(request, key, plan, held[0])
+                if bound is None:
+                    self.metrics.fleet_rejections += 1
+                    self._resolve(
+                        request, Outcome.SHED_NO_CAPACITY,
+                        detail=f"analyzer rejected the carved partition "
+                               f"(share {request.memory_share:g})",
+                        wait=wait, plan_key=key, attempts=attempts,
+                    )
+                    return
+                self.metrics.fleet_certified += 1
         detail = ""
         run_seconds = 0.0
         if request.execute:
@@ -509,6 +579,18 @@ class PlannerService:
                  run_seconds: float = 0.0) -> None:
         now = self.sim.now
         latency = now - request.arrival
+        held = self._reservations.pop(request.rid, None)
+        if held is not None and self.fleet is not None:
+            reservation, placed_at = held
+            self._fleet_tick(now)
+            self.fleet.release(reservation)
+            if self.trace is not None:
+                self.trace.span(
+                    "fleet", f"hold req{request.rid}", placed_at, now,
+                    lane="fleet", tenant=request.tenant,
+                    server=reservation.server, kind=reservation.kind,
+                    devices=reservation.devices,
+                )
         self.metrics.count(outcome)
         if outcome.carries_plan:
             self.metrics.latencies.append(latency)
@@ -532,6 +614,63 @@ class PlannerService:
         self._remaining -= 1
         if self._remaining <= 0:
             self._wake()
+
+    # -- fleet placement ---------------------------------------------------------
+
+    def _place(self, request: PlanRequest,
+               reservation: FleetReservation) -> None:
+        """Record a successful placement: accounting + trace instant."""
+        assert self.fleet is not None
+        now = self.sim.now
+        self._fleet_tick(now)
+        self._reservations[request.rid] = (reservation, now)
+        self.fleet_placed[request.rid] = reservation
+        self.metrics.fleet_placements += 1
+        if reservation.kind == "identity":
+            self.metrics.fleet_identity += 1
+        elif reservation.kind == "partition":
+            self.metrics.fleet_partitioned += 1
+        else:
+            self.metrics.fleet_timesliced += 1
+        self.metrics.fleet_peak_occupancy = max(
+            self.metrics.fleet_peak_occupancy,
+            float(self.fleet.occupancy()),
+        )
+        if self.trace is not None:
+            self.trace.instant(
+                "fleet", f"place req{request.rid}", now, lane="fleet",
+                tenant=request.tenant, server=reservation.server,
+                kind=reservation.kind, devices=reservation.devices,
+            )
+
+    def _fleet_tick(self, now: float) -> None:
+        """Advance the occupied-GPU-seconds integral to ``now``.  Must
+        run *before* any occupancy change (the integrand is piecewise
+        constant between placement events)."""
+        assert self.fleet is not None
+        dt = now - self._fleet_last
+        if dt > 0:
+            self.metrics.fleet_gpu_seconds += (
+                float(self.fleet.occupancy()) * self.fleet.total_gpus * dt
+            )
+        self._fleet_last = now
+
+    def _certify(self, request: PlanRequest, key: str, plan: Any,
+                 reservation: FleetReservation) -> Optional[Any]:
+        """Analyzer-certified bound plan for (plan, placement shape), or
+        None when the partition cannot hold the schedule.  Memoized: the
+        shape, not the request, determines the verdict."""
+        assert self.fleet is not None
+        shape = (key, len(reservation.devices), reservation.share,
+                 reservation.n_logical)
+        if shape in self.fleet_bounds:
+            return self.fleet_bounds[shape]
+        try:
+            bound = self.fleet.bind(reservation, plan)
+        except ScheduleAnalysisError:
+            bound = None
+        self.fleet_bounds[shape] = bound
+        return bound
 
     # -- plan production ---------------------------------------------------------
 

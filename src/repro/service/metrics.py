@@ -48,6 +48,20 @@ class ServiceMetrics:
     #: simulated training work executed for run requests
     runs_executed: int = 0
     run_virtual_seconds: float = 0.0
+    #: fleet co-placement (all zero when the service runs fleetless)
+    fleet_servers: int = 0
+    fleet_gpus: int = 0
+    fleet_placements: int = 0
+    fleet_identity: int = 0
+    fleet_partitioned: int = 0
+    fleet_timesliced: int = 0
+    #: fleet binds proved by the analyzer / rejected (partition too small)
+    fleet_certified: int = 0
+    fleet_rejections: int = 0
+    #: integral of occupied GPUs over virtual time (GPU-seconds)
+    fleet_gpu_seconds: float = 0.0
+    #: high-water occupied fraction of the fleet's GPU capacity
+    fleet_peak_occupancy: float = 0.0
     #: virtual time at which the last request resolved
     makespan: float = 0.0
     #: arrival->resolution virtual latencies of served+degraded requests
@@ -92,6 +106,13 @@ class ServiceMetrics:
     @property
     def shed_rate(self) -> float:
         return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def fleet_utilization(self) -> float:
+        """Time-averaged occupied fraction of the fleet's GPU capacity
+        over the makespan (0.0 without a fleet or an empty run)."""
+        capacity = self.fleet_gpus * self.makespan
+        return self.fleet_gpu_seconds / capacity if capacity > 0 else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -144,6 +165,19 @@ class ServiceMetrics:
             "peak_queue_depth": self.peak_queue_depth,
             "runs_executed": self.runs_executed,
             "run_virtual_seconds": self.run_virtual_seconds,
+            "fleet": {
+                "servers": self.fleet_servers,
+                "gpus": self.fleet_gpus,
+                "placements": self.fleet_placements,
+                "identity": self.fleet_identity,
+                "partitioned": self.fleet_partitioned,
+                "timesliced": self.fleet_timesliced,
+                "certified": self.fleet_certified,
+                "rejections": self.fleet_rejections,
+                "gpu_seconds": self.fleet_gpu_seconds,
+                "peak_occupancy": self.fleet_peak_occupancy,
+                "utilization": self.fleet_utilization,
+            },
             "makespan": self.makespan,
             "shed_rate": self.shed_rate,
             "p50_latency": self.p50_latency,
@@ -176,6 +210,18 @@ class ServiceMetrics:
             f"chaos {self.chaos_slowdowns} slow / {self.chaos_crashes} "
             f"crash / {self.chaos_poisoned} poison"
         )
+        if self.fleet_gpus:
+            lines.append(
+                f"  fleet: {self.fleet_servers} server(s) / "
+                f"{self.fleet_gpus} GPUs; {self.fleet_placements} "
+                f"placement(s) ({self.fleet_identity} identity, "
+                f"{self.fleet_partitioned} partitioned, "
+                f"{self.fleet_timesliced} time-sliced), "
+                f"{self.fleet_certified} certified / "
+                f"{self.fleet_rejections} rejected; utilization "
+                f"{self.fleet_utilization * 100:.0f}% "
+                f"(peak {self.fleet_peak_occupancy * 100:.0f}%)"
+            )
         lines.append(
             f"  latency: p50 {self.p50_latency:.3f}s, "
             f"p99 {self.p99_latency:.3f}s; peak queue "

@@ -31,6 +31,9 @@ class Outcome(enum.Enum):
     SHED_QUOTA = "shed_quota"
     #: breaker open / planner unavailable and no degraded rung fit
     SHED_BREAKER = "shed_breaker"
+    #: fleet placement failed: no server can host the job's devices at
+    #: its memory share, or the analyzer rejected the carved partition
+    SHED_NO_CAPACITY = "shed_no_capacity"
     #: the virtual deadline expired before any rung could finish
     TIMED_OUT = "timed_out"
     #: chaos-poisoned (malformed) request, rejected with a typed error
@@ -55,6 +58,7 @@ _GROUPS = {
     Outcome.SHED_QUEUE_FULL: "shed",
     Outcome.SHED_QUOTA: "shed",
     Outcome.SHED_BREAKER: "shed",
+    Outcome.SHED_NO_CAPACITY: "shed",
     Outcome.TIMED_OUT: "shed",
     Outcome.FAILED_POISONED: "failed",
 }
@@ -69,6 +73,10 @@ class PlanRequest:
     ``execute`` asks the service to also run one simulated training
     iteration of the plan it serves (degraded plans downgrade to
     plan-only -- that is part of the degradation contract).
+    ``memory_share`` is the per-GPU memory fraction the job declares it
+    needs (Synergy-style resource sensitivity); a fleet-backed service
+    carves exactly that partition, letting jobs with share < 1 share
+    GPUs with other tenants.  Ignored without a fleet.
     """
 
     rid: int
@@ -80,6 +88,7 @@ class PlanRequest:
     arrival: float = 0.0
     deadline: Optional[float] = None
     execute: bool = False
+    memory_share: float = 1.0
 
     def __post_init__(self) -> None:
         if self.minibatch < 1:
@@ -92,6 +101,10 @@ class PlanRequest:
             raise ValueError(f"arrival must be >= 0, got {self.arrival}")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if not 0.0 < self.memory_share <= 1.0:
+            raise ValueError(
+                f"memory_share must be in (0, 1], got {self.memory_share}"
+            )
 
 
 @dataclass(frozen=True)

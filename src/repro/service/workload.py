@@ -32,6 +32,7 @@ def scripted_workload(
     gpus: Sequence[int] = (2,),
     deadline: Optional[float] = 45.0,
     execute_fraction: float = 0.0,
+    shares: Sequence[float] = (1.0,),
 ) -> list[PlanRequest]:
     """Generate ``n_requests`` seeded requests over ``duration`` virtual
     seconds.
@@ -42,6 +43,11 @@ def scripted_workload(
     robustness, not the planner's infeasibility handling (the chaos
     plan's poisoned requests cover malformed input).
     ``execute_fraction`` marks that fraction of requests as plan+run.
+
+    ``shares`` is the memory-share mix for fleet storms (each request
+    draws its declared per-GPU memory fraction from it).  The default
+    ``(1.0,)`` draws nothing, keeping the request stream byte-identical
+    to pre-fleet workloads -- the PR 7/8 storm baselines depend on that.
     """
     if n_requests < 0:
         raise ValueError(f"n_requests must be >= 0, got {n_requests}")
@@ -63,6 +69,9 @@ def scripted_workload(
         minibatch = rng.choice(list(minibatches))
         n_gpus = rng.choice(list(gpus))
         execute = rng.random() < execute_fraction
+        share = 1.0
+        if tuple(shares) != (1.0,):
+            share = rng.choice(list(shares))
         if mode == "dp" and minibatch % n_gpus != 0:
             mode = "pp"
         requests.append(PlanRequest(
@@ -75,5 +84,6 @@ def scripted_workload(
             arrival=arrival,
             deadline=deadline,
             execute=execute,
+            memory_share=share,
         ))
     return requests

@@ -32,14 +32,18 @@ cluster    span    one per-server compute phase of a cluster iteration;
                    instants mark cluster-level control and fault events
                    (server crash, partition stall/heal, cluster replan,
                    stage shrink, replica restore) -- :mod:`repro.cluster`
+fleet      span    one fleet reservation's placement -> release window
+                   (meta names the server, devices and bind kind);
+                   instants mark placement decisions -- :mod:`repro.fleet`
 ========== ======= ====================================================
 
 Lanes (``lane``) name the per-device track an event belongs to: the five
 stream names (``compute``, ``swap_in``, ``swap_out``, ``p2p_in``,
 ``p2p_out``), ``cpu`` for host-offloaded updates, ``run`` for run-level
 control events (rebind/replan/restart), ``service`` for planning-daemon
-request lifecycles, or ``cluster`` for cross-server traffic and control
-(device ``-1``: the fabric is nobody's GPU).  Cross-server ``xfer`` spans
+request lifecycles, ``cluster`` for cross-server traffic and control
+(device ``-1``: the fabric is nobody's GPU), or ``fleet`` for the
+multi-tenant placer's capacity holds.  Cross-server ``xfer`` spans
 ride the ``cluster`` lane so they never pollute per-server swap/p2p byte
 reconciliation.
 """
@@ -50,7 +54,7 @@ from dataclasses import dataclass
 
 #: Lanes the per-device timeline knows about, in display order.
 LANES = ("compute", "swap_in", "swap_out", "p2p_in", "p2p_out", "cpu", "run",
-         "migration", "service", "cluster")
+         "migration", "service", "cluster", "fleet")
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,18 @@ def _service(**overrides):
     return service
 
 
+def _fleet(**overrides):
+    fleet = {
+        "requests": 120, "seed": 0, "servers": 2, "gpus_per_server": 4,
+        "serve_seconds": 0.3, "requests_per_second": 400.0,
+        "utilization": 0.36, "placements": 120, "identity": 63,
+        "partitioned": 57, "timesliced": 0, "certified": 120,
+        "rejections": 0, "shed_no_capacity": 0,
+    }
+    fleet.update(overrides)
+    return fleet
+
+
 def _report(cases=None, calibration=0.03, **overrides):
     report = {
         "schema_version": SCHEMA_VERSION,
@@ -60,6 +72,7 @@ def _report(cases=None, calibration=0.03, **overrides):
         "host": {"python": "3.12.0", "platform": "test", "cpus": 1},
         "cases": cases if cases is not None else [_case()],
         "service": _service(),
+        "fleet": _fleet(),
     }
     report.update(overrides)
     assert validate(report) == [], "test fixture must be schema-valid"

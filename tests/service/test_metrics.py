@@ -1,0 +1,94 @@
+"""ServiceMetrics edge cases: quantiles, rates, fleet derivations.
+
+The nearest-rank quantile is the service's only statistics code; its
+edges (empty, single sample, exact boundaries) are where a refactor
+would silently drift, so each is pinned as a hard equality here.
+"""
+
+import pytest
+
+from repro.service import Outcome
+from repro.service.metrics import ServiceMetrics
+
+
+class TestNearestRankQuantiles:
+    def test_empty_latencies_quantiles_are_zero(self):
+        metrics = ServiceMetrics()
+        assert metrics.p50_latency == 0.0
+        assert metrics.p99_latency == 0.0
+        assert metrics.latency_quantile(0.0) == 0.0
+        assert metrics.latency_quantile(1.0) == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        metrics = ServiceMetrics(latencies=[2.5])
+        assert metrics.latency_quantile(0.0) == 2.5
+        assert metrics.p50_latency == 2.5
+        assert metrics.p99_latency == 2.5
+        assert metrics.latency_quantile(1.0) == 2.5
+
+    def test_known_list_nearest_rank(self):
+        """Nearest rank over [10, 20, 30, 40]: rank = max(1, ceil(q*n)),
+        1-indexed -- no interpolation, ever."""
+        metrics = ServiceMetrics(latencies=[40.0, 10.0, 30.0, 20.0])
+        assert metrics.latency_quantile(0.0) == 10.0   # rank clamps to 1
+        assert metrics.latency_quantile(0.25) == 10.0  # ceil(1.0) = 1
+        assert metrics.latency_quantile(0.50) == 20.0  # ceil(2.0) = 2
+        assert metrics.latency_quantile(0.51) == 30.0  # ceil(2.04) = 3
+        assert metrics.latency_quantile(0.99) == 40.0  # ceil(3.96) = 4
+        assert metrics.latency_quantile(1.0) == 40.0
+
+    def test_quantile_input_is_not_sorted_in_place(self):
+        latencies = [3.0, 1.0, 2.0]
+        metrics = ServiceMetrics(latencies=latencies)
+        assert metrics.p50_latency == 2.0
+        assert latencies == [3.0, 1.0, 2.0]
+
+    @pytest.mark.parametrize("q", (-0.01, 1.01, 2.0))
+    def test_out_of_range_quantile_raises(self, q):
+        with pytest.raises(ValueError):
+            ServiceMetrics(latencies=[1.0]).latency_quantile(q)
+
+
+class TestRates:
+    def test_all_shed_run_has_shed_rate_one(self):
+        metrics = ServiceMetrics(requests=3)
+        for _ in range(3):
+            metrics.count(Outcome.SHED_QUEUE_FULL)
+        assert metrics.shed == 3
+        assert metrics.shed_rate == 1.0
+        assert metrics.p50_latency == 0.0  # sheds carry no latency
+
+    def test_zero_request_rates_are_zero_not_nan(self):
+        metrics = ServiceMetrics()
+        assert metrics.shed_rate == 0.0
+        assert metrics.cache_hit_rate == 0.0
+        assert metrics.fleet_utilization == 0.0
+
+    def test_fleet_utilization_guards_zero_makespan(self):
+        metrics = ServiceMetrics(fleet_gpus=8, fleet_gpu_seconds=4.0)
+        assert metrics.makespan == 0.0
+        assert metrics.fleet_utilization == 0.0
+        metrics.makespan = 10.0
+        assert metrics.fleet_utilization == pytest.approx(0.05)
+
+    def test_fleetless_utilization_is_zero(self):
+        metrics = ServiceMetrics(makespan=10.0, fleet_gpu_seconds=4.0)
+        assert metrics.fleet_gpus == 0
+        assert metrics.fleet_utilization == 0.0
+
+
+class TestSnapshotEdges:
+    def test_empty_snapshot_is_json_clean_and_zeroed(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["requests"] == 0
+        assert snap["outcomes"] == {}
+        assert snap["p50_latency"] == 0.0
+        assert snap["shed_rate"] == 0.0
+        assert snap["fleet"]["utilization"] == 0.0
+
+    def test_snapshot_outcomes_are_sorted(self):
+        metrics = ServiceMetrics()
+        metrics.count(Outcome.SHED_QUOTA)
+        metrics.count(Outcome.SERVED_FRESH)
+        assert list(metrics.snapshot()["outcomes"]) \
+            == sorted(metrics.outcomes)

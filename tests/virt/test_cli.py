@@ -56,6 +56,34 @@ def test_malformed_scales_exit(tmp_path):
         main(ARGS + ["--hetero", "-1.0,1.0,1.0,1.0"])
 
 
+def test_memory_scales_length_mismatch_is_usage_error():
+    """A --memory-scales list that disagrees with the physical device
+    count must exit as a usage error, not an uncaught traceback."""
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--memory-scales", "1.0,1.0"])
+    assert "bad topology" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--physical", "2",
+                     "--memory-scales", "1.0,1.0,1.0,1.0"])
+    assert "bad topology" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--hetero", "1.5,1.5,0.75,0.75",
+                     "--memory-scales", "1.0"])
+    assert "bad topology" in str(exc.value)
+
+
+def test_memory_scales_must_be_positive_numbers():
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--memory-scales", "1.0,1.0,1.0,0.0"])
+    assert "positive" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--memory-scales", "1.0,1.0,-0.5,1.0"])
+    assert "positive" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        main(ARGS + ["--memory-scales", "big,small,1.0,1.0"])
+    assert "malformed" in str(exc.value)
+
+
 def test_chaos_hetero_sweep(tmp_path):
     report = tmp_path / "chaos.json"
     code = main(["chaos", "toy-transformer", "--minibatch", "16",
